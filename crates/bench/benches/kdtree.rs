@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the k-d tree substrate (B-LOCAL): bulk build and
+//! ℓ-NN queries against the linear-scan oracle.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use knn_kdtree::KdTree;
+use knn_points::{brute_force_knn, IdAssigner, Metric, PointId, Record, VecPoint};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn records(n: usize, dims: usize, seed: u64) -> Vec<Record<VecPoint>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = IdAssigner::new(seed);
+    (0..n)
+        .map(|_| Record {
+            id: ids.next_id(),
+            point: VecPoint::new(
+                (0..dims).map(|_| rng.random_range(-100.0..100.0)).collect::<Vec<f64>>(),
+            ),
+            label: None,
+        })
+        .collect()
+}
+
+fn points(n: usize, dims: usize, seed: u64) -> Vec<(PointId, Box<[f64]>)> {
+    records(n, dims, seed).into_iter().map(|r| (r.id, r.point.0)).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree-build");
+    for &n in &[1usize << 12, 1 << 15] {
+        let input = points(n, 3, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| black_box(KdTree::build(input.clone())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree-query");
+    let n = 1usize << 15;
+    let recs = records(n, 3, 2);
+    let tree = KdTree::from_records(&recs);
+    let mut rng = StdRng::seed_from_u64(3);
+    let queries: Vec<Vec<f64>> =
+        (0..64).map(|_| (0..3).map(|_| rng.random_range(-100.0..100.0)).collect()).collect();
+
+    for &ell in &[1usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("kdtree", ell), &queries, |b, queries| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(tree.knn(&queries[i], ell, Metric::Euclidean))
+            });
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("linear-scan", 16usize), &queries, |b, queries| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(brute_force_knn(
+                &recs,
+                &VecPoint::new(queries[i].clone()),
+                16,
+                Metric::Euclidean,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,155 @@
+//! **Baselines comparison** — every algorithm the paper discusses, on the
+//! same workload, with exact round / message / bit accounting.
+//!
+//! * Algorithm 2 (the paper) — `O(log ℓ)` rounds, `O(k log ℓ)` messages.
+//! * Simple method (§3) — `Θ(ℓ)` rounds, `Θ(kℓ)` messages.
+//! * Saukas–Song \[16\] — deterministic, `O(log(kℓ))` rounds.
+//! * Value-domain binary search \[3, 18\] — `O(log V)` rounds.
+//! * Distributed k-d tree \[14\] — construction cost reported separately
+//!   (its point: amortization over many queries vs a huge build bill).
+//!
+//! ```text
+//! cargo run -p knn-bench --release --bin baselines
+//!     [--ks 8,32,128] [--ells 16,128,1024] [--seeds 10]
+//! ```
+
+use kmachine::{engine::run_sync, NetConfig};
+use knn_bench::args::Args;
+use knn_bench::stats::Summary;
+use knn_bench::table::Table;
+use knn_bench::{write_csv, write_json};
+use knn_core::protocols::kdtree_dist::KdBuildProtocol;
+use knn_core::runner::{run_query, Algorithm, QueryOptions};
+use knn_points::{IdAssigner, Record, ScalarPoint, VecPoint};
+use knn_workloads::ScalarWorkload;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+#[derive(serde::Serialize)]
+struct Row {
+    algorithm: String,
+    k: usize,
+    ell: usize,
+    rounds: f64,
+    messages: f64,
+    kilobits: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let ks = args.get_list("ks", &[8, 32, 128]);
+    let ells = args.get_list("ells", &[16, 128, 1024]);
+    let seeds = args.get_u64("seeds", 10);
+    let per_machine = 1usize << 14;
+
+    println!("== Baselines: rounds / messages / bits per query  ({seeds} seeds) ==\n");
+    let mut table = Table::new(&["algorithm", "k", "ell", "rounds", "messages", "kilobits"]);
+    let mut rows = Vec::new();
+
+    for &k in &ks {
+        let shards = ScalarWorkload { per_machine, lo: 0, hi: 1 << 32 }.generate(k, 99);
+        for &ell in &ells {
+            for algo in Algorithm::ALL {
+                let mut rounds = Vec::new();
+                let mut msgs = Vec::new();
+                let mut bits = Vec::new();
+                for s in 0..seeds {
+                    let opts = QueryOptions { seed: s, ..Default::default() };
+                    let mut rng = StdRng::seed_from_u64(s ^ 0xF00D);
+                    let q = ScalarPoint(rng.random_range(0..1u64 << 32));
+                    let out = run_query(&shards, &q, ell, algo, &opts).expect("baseline run");
+                    rounds.push(out.metrics.rounds);
+                    msgs.push(out.metrics.messages);
+                    bits.push(out.metrics.bits);
+                }
+                let r = Summary::of_u64(&rounds);
+                let m = Summary::of_u64(&msgs);
+                let b = Summary::of_u64(&bits);
+                table.row(vec![
+                    algo.name().to_string(),
+                    k.to_string(),
+                    ell.to_string(),
+                    r.pm(),
+                    format!("{:.0}", m.mean),
+                    format!("{:.1}", b.mean / 1000.0),
+                ]);
+                rows.push(Row {
+                    algorithm: algo.name().to_string(),
+                    k,
+                    ell,
+                    rounds: r.mean,
+                    messages: m.mean,
+                    kilobits: b.mean / 1000.0,
+                });
+            }
+        }
+    }
+    table.print();
+
+    // ---- Distributed k-d tree: one-time construction bill ----
+    println!("\n== Distributed k-d tree (PANDA-like [14]): construction cost ==\n");
+    let mut t2 = Table::new(&["k", "points", "rounds", "messages", "kilobits"]);
+    for &k in &ks {
+        let n = per_machine.min(1 << 12); // keep the all-to-all tractable
+        let mut ids = IdAssigner::new(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let records: Vec<Record<VecPoint>> = (0..n * k)
+            .map(|_| Record {
+                id: ids.next_id(),
+                point: VecPoint::new(vec![rng.random_range(-1e6..1e6)]),
+                label: None,
+            })
+            .collect();
+        let shards: Vec<Vec<Record<VecPoint>>> =
+            records.chunks(n).map(|c| c.to_vec()).collect();
+        let cfg = NetConfig::new(k).with_seed(1);
+        let protos: Vec<KdBuildProtocol> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| KdBuildProtocol::new(i, k, 0, 64, 4, local))
+            .collect();
+        let out = run_sync(&cfg, protos).expect("kd build");
+        t2.row(vec![
+            k.to_string(),
+            (n * k).to_string(),
+            out.metrics.rounds.to_string(),
+            out.metrics.messages.to_string(),
+            format!("{:.0}", out.metrics.bits as f64 / 1000.0),
+        ]);
+        rows.push(Row {
+            algorithm: "kdtree-build".into(),
+            k,
+            ell: 0,
+            rounds: out.metrics.rounds as f64,
+            messages: out.metrics.messages as f64,
+            kilobits: out.metrics.bits as f64 / 1000.0,
+        });
+    }
+    t2.print();
+    println!(
+        "\nthe paper's qualitative claims, measured: Algorithm 2's rounds barely move with\n\
+         ell or k; the simple method's grow linearly in ell; Saukas-Song sits between;\n\
+         binary search depends on the value domain; and the k-d tree build moves the\n\
+         whole dataset before the first query is ever answered."
+    );
+
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.k.to_string(),
+                r.ell.to_string(),
+                format!("{:.1}", r.rounds),
+                format!("{:.1}", r.messages),
+                format!("{:.1}", r.kilobits),
+            ]
+        })
+        .collect();
+    let csv = write_csv(
+        "baselines",
+        &["algorithm", "k", "ell", "rounds", "messages", "kilobits"],
+        &csv_rows,
+    );
+    let json = write_json("baselines", &rows);
+    println!("\nwrote {} and {}", csv.display(), json.display());
+}

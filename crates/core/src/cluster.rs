@@ -1,0 +1,350 @@
+//! The user-facing facade: a simulated k-machine cluster holding a
+//! distributed dataset and answering ℓ-NN queries.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use kmachine::{BandwidthMode, Engine, MachineId, RunMetrics};
+use knn_points::{Dataset, Dist, Label, Metric, Point, PointId, ScalarPoint};
+use knn_workloads::PartitionStrategy;
+
+use crate::error::CoreError;
+use crate::protocols::knn::{KnnParams, KnnStats};
+use crate::runner::{
+    merge_answers, run_approx_query, run_query, Algorithm, ElectionKind, QueryOptions,
+};
+
+/// One answer point of an ℓ-NN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The point's unique id.
+    pub id: PointId,
+    /// Its distance from the query.
+    pub dist: Dist,
+    /// The machine that holds it (data never leaves its machine — only
+    /// ids and distances travel, the paper's privacy motivation).
+    pub machine: MachineId,
+    /// Its label, when the dataset is labeled.
+    pub label: Option<Label>,
+}
+
+/// Result of an ℓ-NN query, with full cost accounting.
+#[derive(Debug, Clone)]
+pub struct KnnAnswer {
+    /// The ℓ nearest neighbors, ascending by `(distance, id)`.
+    pub neighbors: Vec<Neighbor>,
+    /// Rounds / messages / bits of the main protocol.
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the protocol run (meaningful on the threaded
+    /// engine).
+    pub wall: Duration,
+    /// The leader that coordinated the query.
+    pub leader: MachineId,
+    /// Election cost, when an election was run.
+    pub election_metrics: Option<RunMetrics>,
+    /// Algorithm 2 diagnostics (sampling / pruning / iterations).
+    pub stats: Option<KnnStats>,
+}
+
+/// Builder for [`KnnCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    k: usize,
+    opts: QueryOptions,
+    algorithm: Algorithm,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder { k: 4, opts: QueryOptions::default(), algorithm: Algorithm::Knn }
+    }
+}
+
+impl ClusterBuilder {
+    /// Same as [`KnnCluster::builder`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of machines (k ≥ 1).
+    pub fn machines(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Master seed for all randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Link bandwidth in bits per round (the model's `B`).
+    pub fn bandwidth_bits(mut self, bits: u64) -> Self {
+        self.opts.bandwidth = BandwidthMode::Enforce { bits_per_round: bits };
+        self
+    }
+
+    /// Remove the bandwidth constraint (messages still counted).
+    pub fn unlimited_bandwidth(mut self) -> Self {
+        self.opts.bandwidth = BandwidthMode::Unlimited;
+        self
+    }
+
+    /// Execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.opts.engine = engine;
+        self
+    }
+
+    /// Distance metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.opts.metric = metric;
+        self
+    }
+
+    /// Default query algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Leader election mode.
+    pub fn election(mut self, election: ElectionKind) -> Self {
+        self.opts.election = election;
+        self
+    }
+
+    /// Algorithm 2 tunables.
+    pub fn knn_params(mut self, params: KnnParams) -> Self {
+        self.opts.params = params;
+        self
+    }
+
+    /// Synthetic per-round latency for the threaded engine.
+    pub fn round_latency(mut self, latency: Duration) -> Self {
+        self.opts.round_latency = latency;
+        self
+    }
+
+    /// Finish building.
+    pub fn build<P: Point>(self) -> KnnCluster<P> {
+        assert!(self.k >= 1, "cluster needs at least one machine");
+        KnnCluster {
+            shards: Vec::new(),
+            index: Vec::new(),
+            opts: self.opts,
+            algorithm: self.algorithm,
+            k: self.k,
+        }
+    }
+}
+
+/// A simulated k-machine cluster with a distributed dataset.
+///
+/// The default point type is the paper's experimental workload
+/// ([`ScalarPoint`]); `KnnCluster::<VecPoint>::builder()` (or type
+/// inference from [`KnnCluster::load`]) selects other point types.
+#[derive(Debug)]
+pub struct KnnCluster<P: Point = ScalarPoint> {
+    shards: Vec<Dataset<P>>,
+    /// Per-shard `id → record index`, for resolving answers to labels.
+    index: Vec<HashMap<PointId, usize>>,
+    opts: QueryOptions,
+    algorithm: Algorithm,
+    k: usize,
+}
+
+impl KnnCluster {
+    /// Start building a cluster. The builder is point-type-agnostic:
+    /// [`ClusterBuilder::build`] (or the dataset you load) fixes `P`.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+}
+
+impl<P: Point> KnnCluster<P> {
+    /// Number of machines.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total points loaded.
+    pub fn total_points(&self) -> usize {
+        self.shards.iter().map(Dataset::len).sum()
+    }
+
+    /// Points held by machine `i`.
+    pub fn shard_len(&self, i: usize) -> usize {
+        self.shards.get(i).map_or(0, Dataset::len)
+    }
+
+    /// The query options in effect.
+    pub fn options(&self) -> &QueryOptions {
+        &self.opts
+    }
+
+    /// Distribute a global dataset across the machines.
+    pub fn load(&mut self, data: Dataset<P>, strategy: PartitionStrategy) {
+        let shards = strategy
+            .split(data.records, self.k, self.opts.seed)
+            .into_iter()
+            .map(Dataset::new)
+            .collect();
+        self.load_shards_unchecked(shards);
+    }
+
+    /// Install per-machine shards directly (the "data is naturally
+    /// distributed at k sites" scenario — hospitals, sensors, …).
+    pub fn load_shards(&mut self, shards: Vec<Dataset<P>>) -> Result<(), CoreError> {
+        if shards.len() != self.k {
+            return Err(CoreError::ShardCount { expected: self.k, got: shards.len() });
+        }
+        self.load_shards_unchecked(shards);
+        Ok(())
+    }
+
+    fn load_shards_unchecked(&mut self, shards: Vec<Dataset<P>>) {
+        self.index = shards
+            .iter()
+            .map(|d| d.records.iter().enumerate().map(|(i, r)| (r.id, i)).collect())
+            .collect();
+        self.shards = shards;
+    }
+
+    /// Answer an ℓ-NN query with the cluster's default algorithm.
+    pub fn query(&self, q: &P, ell: usize) -> Result<KnnAnswer, CoreError> {
+        self.query_with(self.algorithm, q, ell)
+    }
+
+    /// Answer an *approximate* ℓ-NN query: one pruning pass, no iterated
+    /// selection. Returns a superset of the exact ℓ-NN (≈1.75ℓ neighbors,
+    /// `contains_exact` tells you the guarantee held) in fewer rounds —
+    /// ideal for majority-vote or averaging consumers.
+    pub fn query_approx(&self, q: &P, ell: usize) -> Result<KnnAnswer, CoreError> {
+        if self.shards.is_empty() {
+            return Err(CoreError::NotLoaded);
+        }
+        let out = run_approx_query(&self.shards, q, ell, &self.opts)?;
+        let neighbors = self.resolve(&out.local_keys);
+        Ok(KnnAnswer {
+            neighbors,
+            metrics: out.metrics,
+            wall: out.wall,
+            leader: out.leader,
+            election_metrics: out.election_metrics,
+            stats: None,
+        })
+    }
+
+    /// Answer an ℓ-NN query with a specific algorithm.
+    pub fn query_with(&self, algorithm: Algorithm, q: &P, ell: usize) -> Result<KnnAnswer, CoreError> {
+        if self.shards.is_empty() {
+            return Err(CoreError::NotLoaded);
+        }
+        let out = run_query(&self.shards, q, ell, algorithm, &self.opts)?;
+        let neighbors = self.resolve(&out.local_keys);
+        Ok(KnnAnswer {
+            neighbors,
+            metrics: out.metrics,
+            wall: out.wall,
+            leader: out.leader,
+            election_metrics: out.election_metrics,
+            stats: out.stats,
+        })
+    }
+
+    /// Map answer keys back to labeled neighbors via the shard indices.
+    fn resolve(&self, local_keys: &[Vec<knn_points::DistKey>]) -> Vec<Neighbor> {
+        merge_answers(local_keys)
+            .into_iter()
+            .map(|(key, machine)| {
+                let label = self.index[machine]
+                    .get(&key.id)
+                    .and_then(|&i| self.shards[machine].records[i].label);
+                Neighbor { id: key.id, dist: key.dist, machine, label }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_points::{IdAssigner, ScalarPoint};
+
+    fn loaded_cluster(k: usize, n: u64) -> KnnCluster<ScalarPoint> {
+        let mut ids = IdAssigner::new(0);
+        let data = Dataset::from_labeled(
+            (0..n).map(|i| (ScalarPoint(i * 10), Label::Class((i % 3) as u32))).collect(),
+            &mut ids,
+        );
+        let mut cluster: KnnCluster<ScalarPoint> =
+            KnnCluster::builder().machines(k).seed(3).build();
+
+        cluster.load(data, PartitionStrategy::Shuffled);
+        cluster
+    }
+
+    #[test]
+    fn query_returns_sorted_labeled_neighbors() {
+        let cluster = loaded_cluster(4, 100);
+        let ans = cluster.query(&ScalarPoint(501), 5).unwrap();
+        assert_eq!(ans.neighbors.len(), 5);
+        assert!(ans.neighbors.windows(2).all(|w| (w[0].dist, w[0].id) < (w[1].dist, w[1].id)));
+        assert!(ans.neighbors.iter().all(|n| n.label.is_some()));
+        // Nearest to 501 among multiples of 10 is 500.
+        assert_eq!(ans.neighbors[0].dist.as_u64(), 1);
+    }
+
+    #[test]
+    fn unloaded_cluster_errors() {
+        let cluster: KnnCluster<ScalarPoint> = KnnCluster::builder().machines(3).build();
+        assert_eq!(cluster.query(&ScalarPoint(1), 2).unwrap_err(), CoreError::NotLoaded);
+    }
+
+    #[test]
+    fn shard_count_mismatch_errors() {
+        let mut cluster: KnnCluster<ScalarPoint> = KnnCluster::builder().machines(3).build();
+        let err = cluster.load_shards(vec![Dataset::new(Vec::new())]).unwrap_err();
+        assert_eq!(err, CoreError::ShardCount { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn algorithms_agree_through_the_facade() {
+        let cluster = loaded_cluster(5, 200);
+        let q = ScalarPoint(777);
+        let reference: Vec<PointId> =
+            cluster.query_with(Algorithm::Simple, &q, 7).unwrap().neighbors.iter().map(|n| n.id).collect();
+        for algo in Algorithm::ALL {
+            let got: Vec<PointId> =
+                cluster.query_with(algo, &q, 7).unwrap().neighbors.iter().map(|n| n.id).collect();
+            assert_eq!(got, reference, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn approx_query_is_a_cheap_superset() {
+        let cluster = loaded_cluster(6, 4000);
+        let q = ScalarPoint(20_000);
+        let exact = cluster.query(&q, 50).unwrap();
+        let approx = cluster.query_approx(&q, 50).unwrap();
+        assert!(approx.neighbors.len() >= exact.neighbors.len());
+        // The exact answer is a prefix of the approximate superset.
+        assert_eq!(
+            &approx.neighbors[..50],
+            &exact.neighbors[..],
+            "approx must contain the exact answer as its prefix"
+        );
+        assert!(approx.metrics.rounds < exact.metrics.rounds);
+        assert!(approx.neighbors.iter().all(|n| n.label.is_some()));
+    }
+
+    #[test]
+    fn accessors() {
+        let cluster = loaded_cluster(4, 100);
+        assert_eq!(cluster.k(), 4);
+        assert_eq!(cluster.total_points(), 100);
+        assert_eq!((0..4).map(|i| cluster.shard_len(i)).sum::<usize>(), 100);
+        assert_eq!(cluster.shard_len(99), 0);
+    }
+}

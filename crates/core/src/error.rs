@@ -1,0 +1,65 @@
+//! Error type of the distributed k-NN layer.
+
+use std::fmt;
+
+use kmachine::EngineError;
+
+/// Failures surfaced by the runner and the cluster facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying simulation failed (stall, round limit, panic).
+    Engine(EngineError),
+    /// The cluster has zero machines.
+    EmptyCluster,
+    /// `load_shards` was given the wrong number of shards.
+    ShardCount {
+        /// Machines in the cluster.
+        expected: usize,
+        /// Shards provided.
+        got: usize,
+    },
+    /// A query was issued before any data was loaded.
+    NotLoaded,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "simulation failed: {e}"),
+            CoreError::EmptyCluster => write!(f, "cluster has no machines"),
+            CoreError::ShardCount { expected, got } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            CoreError::NotLoaded => write!(f, "no data loaded into the cluster"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: CoreError = EngineError::Stalled { round: 3 }.into();
+        assert!(e.to_string().contains("round 3"));
+        assert!(CoreError::EmptyCluster.to_string().contains("no machines"));
+        assert!(CoreError::ShardCount { expected: 4, got: 2 }.to_string().contains("4"));
+        assert!(CoreError::NotLoaded.to_string().contains("loaded"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # knn-core — distributed ℓ-NN in the k-machine model (SPAA 2020)
+//!
+//! Reproduction of Fathi, Molla, Pandurangan, *Efficient Distributed
+//! Algorithms for the K-Nearest Neighbors Problem* (SPAA 2020,
+//! arXiv:2005.07373). Given n points spread over k machines and a query
+//! point q, compute the ℓ points nearest to q — in `O(log ℓ)` communication
+//! rounds and `O(k log ℓ)` messages, regardless of n and k.
+//!
+//! ## What lives here
+//!
+//! * [`protocols::selection`] — **Algorithm 1**: distributed randomized
+//!   selection (ℓ-smallest of n distributed values), `O(log n)` rounds whp.
+//! * [`protocols::knn`] — **Algorithm 2**: the ℓ-NN protocol; per-machine
+//!   sampling prunes the candidates from `kℓ` to `O(ℓ)` whp (Lemma 2.3),
+//!   then Algorithm 1 finishes the job in `O(log ℓ)` rounds.
+//! * [`protocols::simple`] — the **baseline** the paper measures against:
+//!   every machine ships its local ℓ-NN to the leader (`Θ(ℓ)` rounds).
+//! * [`protocols::saukas_song`] — the deterministic weighted-median
+//!   selection of Saukas–Song \[16\], `O(log(kℓ))` rounds.
+//! * [`protocols::binsearch`] — bisection over the *value domain* \[3, 18\]:
+//!   `O(log V)` rounds, the non-comparison-based regime.
+//! * [`protocols::kdtree_dist`] — a PANDA-like distributed k-d tree \[14\]:
+//!   pays a large redistribution cost up front, then answers queries
+//!   locally.
+//! * [`cluster::KnnCluster`] — the user-facing facade: load data, pick an
+//!   algorithm and engine, run queries, inspect exact round/message costs.
+//! * [`ml`] — ℓ-NN classification (majority vote) and regression (mean),
+//!   the applications motivating the paper.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use knn_core::cluster::KnnCluster;
+//! use knn_core::runner::Algorithm;
+//! use knn_points::{Dataset, IdAssigner, ScalarPoint};
+//! use knn_workloads::PartitionStrategy;
+//!
+//! let mut ids = IdAssigner::new(1);
+//! let points: Vec<ScalarPoint> = (0..20_000).map(|i| ScalarPoint(i * 10)).collect();
+//! let data = Dataset::from_points(points, &mut ids);
+//!
+//! let mut cluster = KnnCluster::builder().machines(8).seed(7).build();
+//! cluster.load(data, PartitionStrategy::Shuffled);
+//!
+//! let answer = cluster.query(&ScalarPoint(4242), 400).unwrap();
+//! let values: Vec<u64> = answer.neighbors.iter().map(|n| n.dist.as_u64()).collect();
+//! assert_eq!(answer.neighbors.len(), 400);
+//! assert!(values.windows(2).all(|w| w[0] <= w[1]));
+//! // The same query through the paper's baseline gives the same neighbors
+//! // but pays Θ(ell) rounds instead of O(log ell) — at ell = 400 the
+//! // logarithmic algorithm is already well past the crossover:
+//! let slow = cluster.query_with(Algorithm::Simple, &ScalarPoint(4242), 400).unwrap();
+//! assert_eq!(
+//!     answer.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+//!     slow.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+//! );
+//! assert!(slow.metrics.rounds >= answer.metrics.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod error;
+pub mod local;
+pub mod ml;
+pub mod protocols;
+pub mod runner;
+
+pub use cluster::{ClusterBuilder, KnnAnswer, KnnCluster, Neighbor};
+pub use error::CoreError;
+pub use runner::{Algorithm, ElectionKind, QueryOptions};

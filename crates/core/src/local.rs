@@ -1,0 +1,38 @@
+//! Local (per-machine) computation helpers.
+//!
+//! The model charges nothing for local computation, but the wall-clock
+//! experiments do: these run inside each machine's round 0 — on the
+//! machine's own thread under the threaded engine — matching where the
+//! paper's cluster spends its local time.
+
+use knn_points::{DistKey, Metric, Point, Record};
+
+/// Distance keys of all records with respect to `query`: the reduction of
+/// ℓ-NN to selection (§1.2 — "compute the distance of the query point to
+/// all the points, then find the ℓ-smallest distance values").
+pub fn dist_keys<P: Point>(records: &[Record<P>], query: &P, metric: Metric) -> Vec<DistKey> {
+    records
+        .iter()
+        .map(|r| DistKey::new(r.point.distance(query, metric), r.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_points::{IdAssigner, ScalarPoint};
+
+    #[test]
+    fn keys_carry_distance_and_id() {
+        let mut ids = IdAssigner::new(0);
+        let records: Vec<Record<ScalarPoint>> = [10u64, 30]
+            .iter()
+            .map(|&v| Record { id: ids.next_id(), point: ScalarPoint(v), label: None })
+            .collect();
+        let keys = dist_keys(&records, &ScalarPoint(12), Metric::Euclidean);
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].dist.as_u64(), 2);
+        assert_eq!(keys[0].id, records[0].id);
+        assert_eq!(keys[1].dist.as_u64(), 18);
+    }
+}

@@ -1,0 +1,25 @@
+//! Distributed protocols in the k-machine model.
+//!
+//! * [`selection`] — the paper's **Algorithm 1** (randomized distributed
+//!   selection), with [`select_core`] holding the reusable state machine.
+//! * [`knn`] — the paper's **Algorithm 2** (ℓ-NN via sampling + selection).
+//! * [`approx`] — an extension: pruning-only *approximate* ℓ-NN.
+//! * [`simple`] — the gather-everything baseline of §3.
+//! * [`saukas_song`] — deterministic weighted-median selection \[16\].
+//! * [`binsearch`] — value-domain bisection \[3, 18\].
+//! * [`kdtree_dist`] — PANDA-like distributed k-d tree \[14\].
+
+pub mod approx;
+pub mod binsearch;
+pub mod kdtree_dist;
+pub mod knn;
+pub mod saukas_song;
+pub mod select_core;
+pub mod selection;
+pub mod simple;
+
+pub use approx::{ApproxKnnProtocol, ApproxOutput};
+pub use knn::{KnnOutput, KnnParams, KnnProtocol, KnnStats};
+pub use select_core::{CoreStatus, SelMsg, SelectCore};
+pub use selection::SelectProtocol;
+pub use simple::SimpleProtocol;

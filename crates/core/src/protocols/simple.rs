@@ -1,0 +1,292 @@
+//! The **simple method** — the baseline the paper's experiment compares
+//! against (§3).
+//!
+//! Every machine finds its local ℓ nearest points, ships *all ℓ of them* to
+//! the leader, and the leader selects the final ℓ among the `kℓ` received
+//! candidates. Under the model's `B = Θ(log n)` bandwidth this costs
+//! `Θ(ℓ)` rounds (each link carries O(1) keys per round) and `Θ(kℓ)`
+//! messages — exponentially more rounds than Algorithm 2's `O(log ℓ)`.
+
+use kmachine::{Ctx, MachineId, Payload, Protocol, Step};
+use knn_points::Key;
+
+use super::knn::KeySource;
+
+/// Messages of the simple gather baseline.
+#[derive(Debug, Clone)]
+pub enum SimpleMsg<K: Key> {
+    /// A chunk of the sender's local top-ℓ keys; `last` marks the final
+    /// chunk. Chunks are sized by the runner to one link-round each, so the
+    /// paper's O(kℓ) message count is reproduced faithfully rather than
+    /// bypassed with one giant message.
+    Batch {
+        /// The keys in this chunk (ascending within the sender).
+        keys: Vec<K>,
+        /// True on the sender's final chunk.
+        last: bool,
+    },
+    /// Leader → all: the ℓ-th smallest key overall; output your keys
+    /// `≤ boundary` (`None` = empty answer).
+    Boundary {
+        /// Upper bound of the answer set.
+        boundary: Option<K>,
+    },
+}
+
+impl<K: Key> Payload for SimpleMsg<K> {
+    fn size_bits(&self) -> u64 {
+        match self {
+            SimpleMsg::Batch { keys, .. } => 33 + K::BITS * keys.len() as u64,
+            SimpleMsg::Boundary { .. } => 2 + K::BITS,
+        }
+    }
+}
+
+/// Per-machine instance of the simple gather baseline.
+pub struct SimpleProtocol<'a, K: Key> {
+    id: MachineId,
+    leader: MachineId,
+    ell: u64,
+    /// Keys per [`SimpleMsg::Batch`]; pick `⌊(B − 33) / K::BITS⌋.max(1)` to
+    /// model one full link-round per message.
+    chunk: usize,
+    input: Option<KeySource<'a, K>>,
+    /// Local top-ℓ, sorted.
+    candidates: Vec<K>,
+    // Leader scratch.
+    gathered: Vec<K>,
+    finished_senders: usize,
+}
+
+impl<'a, K: Key> SimpleProtocol<'a, K> {
+    /// Machine `id`, gathering everyone's local top-`ell` at `leader`.
+    pub fn new(
+        id: MachineId,
+        leader: MachineId,
+        ell: u64,
+        chunk: usize,
+        input: KeySource<'a, K>,
+    ) -> Self {
+        assert!(chunk >= 1, "chunk must be at least 1 key");
+        SimpleProtocol {
+            id,
+            leader,
+            ell,
+            chunk,
+            input: Some(input),
+            candidates: Vec::new(),
+            gathered: Vec::new(),
+            finished_senders: 0,
+        }
+    }
+
+    /// Materialized-keys constructor for tests.
+    pub fn from_keys(id: MachineId, leader: MachineId, ell: u64, chunk: usize, keys: Vec<K>) -> Self {
+        Self::new(id, leader, ell, chunk, Box::new(move || keys))
+    }
+
+    fn finish(&self, boundary: Option<K>) -> Vec<K> {
+        match boundary {
+            None => Vec::new(),
+            Some(b) => {
+                let end = self.candidates.partition_point(|x| *x <= b);
+                self.candidates[..end].to_vec()
+            }
+        }
+    }
+}
+
+impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
+    type Msg = SimpleMsg<K>;
+    type Output = Vec<K>;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, SimpleMsg<K>>) -> Step<Vec<K>> {
+        debug_assert_eq!(ctx.id(), self.id, "protocol wired to the wrong machine");
+        if ctx.round() == 0 {
+            let keys = (self.input.take().expect("round 0 runs once"))();
+            self.candidates = knn_selection::smallest_k_sorted(&keys, self.ell as usize, ctx.rng());
+            if ctx.id() != self.leader {
+                // Stream the whole local top-ℓ; the bandwidth-limited link
+                // delivers it over ⌈ℓ/chunk⌉ rounds.
+                if self.candidates.is_empty() {
+                    ctx.send(self.leader, SimpleMsg::Batch { keys: Vec::new(), last: true });
+                } else {
+                    let chunks: Vec<&[K]> = self.candidates.chunks(self.chunk).collect();
+                    let n = chunks.len();
+                    for (i, chunk) in chunks.into_iter().enumerate() {
+                        ctx.send(
+                            self.leader,
+                            SimpleMsg::Batch { keys: chunk.to_vec(), last: i + 1 == n },
+                        );
+                    }
+                }
+                return Step::Continue;
+            }
+            if ctx.k() == 1 {
+                return Step::Done(self.candidates.clone());
+            }
+            self.gathered = self.candidates.clone();
+            return Step::Continue;
+        }
+
+        if ctx.id() == self.leader {
+            for env in ctx.inbox() {
+                let SimpleMsg::Batch { keys, last } = &env.msg else {
+                    panic!("leader received a non-batch message");
+                };
+                self.gathered.extend_from_slice(keys);
+                self.finished_senders += usize::from(*last);
+            }
+            if self.finished_senders == ctx.k() - 1 {
+                // All kℓ candidates are in: select the final ℓ.
+                self.gathered.sort_unstable();
+                let boundary = if self.ell == 0 || self.gathered.is_empty() {
+                    None
+                } else {
+                    let idx = (self.ell as usize).min(self.gathered.len()) - 1;
+                    Some(self.gathered[idx])
+                };
+                ctx.broadcast(SimpleMsg::Boundary { boundary });
+                return Step::Done(self.finish(boundary));
+            }
+            return Step::Continue;
+        }
+
+        if let Some(SimpleMsg::Boundary { boundary }) = ctx.first_from(self.leader) {
+            return Step::Done(self.finish(*boundary));
+        }
+        Step::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmachine::engine::{run_sync, run_threaded};
+    use kmachine::{BandwidthMode, NetConfig};
+    use knn_workloads::partition::{PartitionStrategy, ALL_STRATEGIES};
+    use proptest::prelude::*;
+
+    fn run_simple(
+        shards: Vec<Vec<u64>>,
+        ell: u64,
+        seed: u64,
+        chunk: usize,
+    ) -> (Vec<u64>, kmachine::RunMetrics) {
+        let k = shards.len();
+        let cfg = NetConfig::new(k).with_seed(seed);
+        let protos: Vec<SimpleProtocol<'_, u64>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| SimpleProtocol::from_keys(i, 0, ell, chunk, local))
+            .collect();
+        let out = run_sync(&cfg, protos).expect("simple run");
+        let mut merged: Vec<u64> = out.outputs.into_iter().flatten().collect();
+        merged.sort_unstable();
+        (merged, out.metrics)
+    }
+
+    fn expected(shards: &[Vec<u64>], ell: usize) -> Vec<u64> {
+        let mut all: Vec<u64> = shards.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.truncate(ell);
+        all
+    }
+
+    #[test]
+    fn gathers_and_selects() {
+        let shards = vec![vec![100, 5, 200], vec![7, 300, 2], vec![50, 60, 1]];
+        let (got, _) = run_simple(shards.clone(), 4, 1, 4);
+        assert_eq!(got, expected(&shards, 4));
+    }
+
+    #[test]
+    fn all_strategies_and_edges() {
+        let all: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(48271) % 10_000).collect();
+        for strat in ALL_STRATEGIES {
+            let shards = strat.split(all.clone(), 5, 3);
+            let (got, _) = run_simple(shards, 20, 3, 4);
+            assert_eq!(got, expected(&[all.clone()], 20), "{strat:?}");
+        }
+        // Edge cases.
+        assert_eq!(run_simple(vec![vec![], vec![]], 5, 0, 4).0, Vec::<u64>::new());
+        assert_eq!(run_simple(vec![vec![1], vec![]], 0, 0, 4).0, Vec::<u64>::new());
+        assert_eq!(run_simple(vec![vec![2, 1]], 9, 0, 4).0, vec![1, 2]);
+    }
+
+    #[test]
+    fn rounds_scale_linearly_with_ell() {
+        // Θ(ℓ) rounds: with 128-bit batches of 1 key over a 512-bit link...
+        // chunk=1 gives one key per message; bandwidth 128 bits/round gives
+        // one message per round — so rounds ≈ ℓ.
+        let k = 4;
+        let data: Vec<u64> = (0..4096).collect();
+        let mk = |ell: u64| {
+            let shards = PartitionStrategy::Shuffled.split(data.clone(), k, 1);
+            let cfg = NetConfig::new(k)
+                .with_seed(1)
+                .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 97 });
+            let protos: Vec<SimpleProtocol<'_, u64>> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, local)| SimpleProtocol::from_keys(i, 0, ell, 1, local))
+                .collect();
+            run_sync(&cfg, protos).unwrap().metrics.rounds
+        };
+        let r64 = mk(64);
+        let r256 = mk(256);
+        assert!(r64 >= 64, "r64 = {r64}");
+        let ratio = r256 as f64 / r64 as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "rounds should scale ~4x when ℓ quadruples: {r64} -> {r256}"
+        );
+    }
+
+    #[test]
+    fn message_count_is_k_times_ell_over_chunk() {
+        let k = 6;
+        let ell = 32u64;
+        let shards: Vec<Vec<u64>> = (0..k as u64).map(|i| (0..200).map(|j| i * 1000 + j).collect()).collect();
+        let (_, m) = run_simple(shards, ell, 2, 1);
+        // (k-1) machines send ell keys each + final boundary broadcast.
+        assert_eq!(m.messages, (k as u64 - 1) * ell + (k as u64 - 1));
+    }
+
+    #[test]
+    fn engines_agree() {
+        let shards = vec![vec![9u64, 8, 7], vec![1, 2, 3], vec![4, 5, 6]];
+        let k = shards.len();
+        let cfg = NetConfig::new(k).with_seed(5);
+        let mk = |shards: &[Vec<u64>]| {
+            shards
+                .iter()
+                .enumerate()
+                .map(|(i, l)| SimpleProtocol::from_keys(i, 0, 4, 2, l.clone()))
+                .collect::<Vec<_>>()
+        };
+        let a = run_sync(&cfg, mk(&shards)).unwrap();
+        let b = run_threaded(&cfg, mk(&shards)).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_simple_matches_sequential(
+            values in proptest::collection::hash_set(any::<u64>(), 0..120),
+            k in 1usize..7,
+            ell in 0u64..30,
+            chunk in 1usize..9,
+            seed in 0u64..200,
+        ) {
+            let values: Vec<u64> = values.into_iter().collect();
+            let want = expected(&[values.clone()], ell as usize);
+            let shards = PartitionStrategy::RoundRobin.split(values, k, seed);
+            let (got, _) = run_simple(shards, ell, seed, chunk);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Query orchestration: pick an algorithm, an engine, and an election; run
+//! one distributed ℓ-NN query; collect outputs and exact communication
+//! costs.
+
+use std::time::Duration;
+
+use kmachine::leader::{RandRankFlood, RandRankStar};
+use kmachine::{BandwidthMode, Engine, MachineId, NetConfig, RunMetrics};
+use knn_points::{Dataset, DistKey, Key, Metric, Point};
+
+use crate::error::CoreError;
+use crate::local::dist_keys;
+use crate::protocols::approx::ApproxKnnProtocol;
+use crate::protocols::binsearch::BinSearchProtocol;
+use crate::protocols::knn::{KnnParams, KnnProtocol, KnnStats};
+use crate::protocols::saukas_song::SaukasSongProtocol;
+use crate::protocols::simple::SimpleProtocol;
+
+/// Which distributed algorithm answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Algorithm {
+    /// The paper's Algorithm 2: `O(log ℓ)` rounds whp.
+    Knn,
+    /// The paper's baseline (§3): gather every machine's local ℓ-NN at the
+    /// leader; `Θ(ℓ)` rounds.
+    Simple,
+    /// Saukas–Song deterministic selection \[16\]: `O(log(kℓ))` rounds.
+    SaukasSong,
+    /// Value-domain bisection \[3, 18\]: `O(log V)` rounds.
+    BinSearch,
+}
+
+impl Algorithm {
+    /// All algorithms, for comparison sweeps.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Knn, Algorithm::Simple, Algorithm::SaukasSong, Algorithm::BinSearch];
+
+    /// Short stable name for tables and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Knn => "alg2-knn",
+            Algorithm::Simple => "simple",
+            Algorithm::SaukasSong => "saukas-song",
+            Algorithm::BinSearch => "binsearch",
+        }
+    }
+}
+
+/// How the leader is chosen before the main protocol runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ElectionKind {
+    /// Machine 0 is the leader by convention (ids are common knowledge in
+    /// the k-machine model); zero communication. This matches how the
+    /// paper states its bounds, with the election charged separately.
+    Fixed,
+    /// Random-rank election through machine 0: 2 rounds, `2(k−1)` messages.
+    Star,
+    /// All-to-all random-rank flood: 1 round, `k(k−1)` messages.
+    Flood,
+}
+
+/// Everything configurable about a query run.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Simulation engine (sync for exact accounting, threaded for wall
+    /// clock).
+    pub engine: Engine,
+    /// Link bandwidth.
+    pub bandwidth: BandwidthMode,
+    /// Master seed for all protocol randomness.
+    pub seed: u64,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Algorithm 2 tunables.
+    pub params: KnnParams,
+    /// Leader election.
+    pub election: ElectionKind,
+    /// Synthetic per-round latency (threaded engine only).
+    pub round_latency: Duration,
+    /// Stall safety limit.
+    pub max_rounds: u64,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            engine: Engine::Sync,
+            bandwidth: BandwidthMode::Enforce {
+                bits_per_round: kmachine::config::DEFAULT_BANDWIDTH_BITS,
+            },
+            seed: 0,
+            metric: Metric::Euclidean,
+            params: KnnParams::default(),
+            election: ElectionKind::Fixed,
+            round_latency: Duration::ZERO,
+            max_rounds: 10_000_000,
+        }
+    }
+}
+
+impl QueryOptions {
+    fn net_config(&self, k: usize) -> NetConfig {
+        NetConfig::new(k)
+            .with_seed(self.seed)
+            .with_bandwidth(self.bandwidth)
+            .with_round_latency(self.round_latency)
+            .with_max_rounds(self.max_rounds)
+    }
+
+    /// Keys per batch message such that one batch fills one link-round.
+    pub fn simple_chunk(&self) -> usize {
+        match self.bandwidth {
+            BandwidthMode::Unlimited => 64,
+            BandwidthMode::Enforce { bits_per_round } => {
+                ((bits_per_round.saturating_sub(33)) / DistKey::BITS).max(1) as usize
+            }
+        }
+    }
+}
+
+/// Result of one distributed query, before point resolution.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Per-machine answer keys (machine `i`'s members of the ℓ-NN set).
+    pub local_keys: Vec<Vec<DistKey>>,
+    /// Communication costs of the main protocol.
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the main protocol run.
+    pub wall: Duration,
+    /// The elected leader.
+    pub leader: MachineId,
+    /// Election costs (`None` under [`ElectionKind::Fixed`]).
+    pub election_metrics: Option<RunMetrics>,
+    /// Algorithm 2 diagnostics (`None` for the baselines).
+    pub stats: Option<KnnStats>,
+}
+
+/// Elect a leader (when requested) and account its cost.
+fn elect(
+    k: usize,
+    opts: &QueryOptions,
+) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
+    let cfg = opts.net_config(k);
+    match opts.election {
+        ElectionKind::Fixed => Ok((0, None)),
+        ElectionKind::Star => {
+            let out = opts.engine.run(&cfg, (0..k).map(|_| RandRankStar::new()).collect())?;
+            Ok((out.outputs[0], Some(out.metrics)))
+        }
+        ElectionKind::Flood => {
+            let out = opts.engine.run(&cfg, (0..k).map(|_| RandRankFlood::new()).collect())?;
+            Ok((out.outputs[0], Some(out.metrics)))
+        }
+    }
+}
+
+/// Run one ℓ-NN query over `shards` with the chosen algorithm.
+///
+/// Distance computation happens inside each machine's round 0, so under the
+/// threaded engine it runs genuinely in parallel — the effect the paper's
+/// Figure 2 attributes its measured speedup to.
+pub fn run_query<P: Point>(
+    shards: &[Dataset<P>],
+    query: &P,
+    ell: usize,
+    algorithm: Algorithm,
+    opts: &QueryOptions,
+) -> Result<QueryOutcome, CoreError> {
+    let k = shards.len();
+    if k == 0 {
+        return Err(CoreError::EmptyCluster);
+    }
+    let (leader, election_metrics) = elect(k, opts)?;
+    let cfg = opts.net_config(k);
+    let metric = opts.metric;
+    let ell64 = ell as u64;
+
+    let source = |i: usize| {
+        let records = &shards[i].records;
+        Box::new(move || dist_keys(records, query, metric))
+            as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>
+    };
+
+    match algorithm {
+        Algorithm::Knn => {
+            let protos: Vec<KnnProtocol<'_, DistKey>> = (0..k)
+                .map(|i| KnnProtocol::new(i, k, leader, ell64, opts.params, source(i)))
+                .collect();
+            let out = opts.engine.run(&cfg, protos)?;
+            let stats = out.outputs[leader].stats;
+            Ok(QueryOutcome {
+                local_keys: out.outputs.into_iter().map(|o| o.keys).collect(),
+                metrics: out.metrics,
+                wall: out.wall,
+                leader,
+                election_metrics,
+                stats,
+            })
+        }
+        Algorithm::Simple => {
+            let chunk = opts.simple_chunk();
+            let protos: Vec<SimpleProtocol<'_, DistKey>> =
+                (0..k).map(|i| SimpleProtocol::new(i, leader, ell64, chunk, source(i))).collect();
+            let out = opts.engine.run(&cfg, protos)?;
+            Ok(QueryOutcome {
+                local_keys: out.outputs,
+                metrics: out.metrics,
+                wall: out.wall,
+                leader,
+                election_metrics,
+                stats: None,
+            })
+        }
+        Algorithm::SaukasSong => {
+            // Mirror the other baselines: operate on the local top-ℓ
+            // candidates (a machine can contribute at most ℓ answers).
+            let protos: Vec<SaukasSongProtocol<'_, DistKey>> = (0..k)
+                .map(|i| {
+                    let records = &shards[i].records;
+                    let input = Box::new(move || {
+                        let mut keys = dist_keys(records, query, metric);
+                        if keys.len() > ell {
+                            keys.select_nth_unstable(ell.max(1) - 1);
+                            keys.truncate(ell);
+                        }
+                        keys
+                    })
+                        as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>;
+                    SaukasSongProtocol::new(i, k, leader, ell64, input)
+                })
+                .collect();
+            let out = opts.engine.run(&cfg, protos)?;
+            Ok(QueryOutcome {
+                local_keys: out.outputs,
+                metrics: out.metrics,
+                wall: out.wall,
+                leader,
+                election_metrics,
+                stats: None,
+            })
+        }
+        Algorithm::BinSearch => {
+            let protos: Vec<BinSearchProtocol<'_, DistKey>> = (0..k)
+                .map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i)))
+                .collect();
+            let out = opts.engine.run(&cfg, protos)?;
+            Ok(QueryOutcome {
+                local_keys: out.outputs,
+                metrics: out.metrics,
+                wall: out.wall,
+                leader,
+                election_metrics,
+                stats: None,
+            })
+        }
+    }
+}
+
+/// Result of an approximate (pruning-only) query.
+#[derive(Debug)]
+pub struct ApproxOutcome {
+    /// Per-machine surviving keys (globally: every key ≤ the prune
+    /// threshold; a superset of the exact answer when `contains_exact`).
+    pub local_keys: Vec<Vec<DistKey>>,
+    /// Total survivors across the cluster.
+    pub total: u64,
+    /// Whether the survivor set provably contains the exact ℓ-NN.
+    pub contains_exact: bool,
+    /// Communication costs.
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// The elected leader.
+    pub leader: MachineId,
+    /// Election costs, if an election ran.
+    pub election_metrics: Option<RunMetrics>,
+}
+
+/// Run one *approximate* ℓ-NN query: Algorithm 2's sampling + pruning
+/// stages only (see [`crate::protocols::approx`]). Returns ≈1.75ℓ
+/// candidates in fewer rounds than the exact protocol.
+pub fn run_approx_query<P: Point>(
+    shards: &[Dataset<P>],
+    query: &P,
+    ell: usize,
+    opts: &QueryOptions,
+) -> Result<ApproxOutcome, CoreError> {
+    let k = shards.len();
+    if k == 0 {
+        return Err(CoreError::EmptyCluster);
+    }
+    let (leader, election_metrics) = elect(k, opts)?;
+    let cfg = opts.net_config(k);
+    let metric = opts.metric;
+    let protos: Vec<ApproxKnnProtocol<'_, DistKey>> = (0..k)
+        .map(|i| {
+            let records = &shards[i].records;
+            let input = Box::new(move || dist_keys(records, query, metric))
+                as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>;
+            ApproxKnnProtocol::new(i, k, leader, ell as u64, opts.params, input)
+        })
+        .collect();
+    let out = opts.engine.run(&cfg, protos)?;
+    let total = out.outputs[leader].total;
+    let contains_exact = out.outputs[leader].contains_exact;
+    Ok(ApproxOutcome {
+        local_keys: out.outputs.into_iter().map(|o| o.keys).collect(),
+        total,
+        contains_exact,
+        metrics: out.metrics,
+        wall: out.wall,
+        leader,
+        election_metrics,
+    })
+}
+
+/// Merge per-machine answer keys into one globally sorted answer,
+/// remembering which machine holds each point.
+pub fn merge_answers(local_keys: &[Vec<DistKey>]) -> Vec<(DistKey, MachineId)> {
+    let mut all: Vec<(DistKey, MachineId)> = local_keys
+        .iter()
+        .enumerate()
+        .flat_map(|(m, keys)| keys.iter().map(move |&key| (key, m)))
+        .collect();
+    all.sort_unstable_by_key(|&(key, _)| key);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn_points::{brute_force_knn, IdAssigner, ScalarPoint};
+    use knn_workloads::PartitionStrategy;
+
+    fn shards(values: &[u64], k: usize) -> Vec<Dataset<ScalarPoint>> {
+        let mut ids = IdAssigner::new(0);
+        let data =
+            Dataset::from_points(values.iter().map(|&v| ScalarPoint(v)).collect(), &mut ids);
+        PartitionStrategy::RoundRobin
+            .split(data.records, k, 0)
+            .into_iter()
+            .map(Dataset::new)
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_brute_force() {
+        let values: Vec<u64> = (0..500u64).map(|i| i.wrapping_mul(48271) % 100_000).collect();
+        let sh = shards(&values, 6);
+        let all_records: Vec<_> = sh.iter().flat_map(|d| d.records.clone()).collect();
+        let q = ScalarPoint(33_333);
+        let want: Vec<_> = brute_force_knn(&all_records, &q, 9, Metric::Euclidean)
+            .into_iter()
+            .map(|(key, _)| key)
+            .collect();
+        for algo in Algorithm::ALL {
+            let out = run_query(&sh, &q, 9, algo, &QueryOptions::default()).unwrap();
+            let got: Vec<DistKey> =
+                merge_answers(&out.local_keys).into_iter().map(|(key, _)| key).collect();
+            assert_eq!(got, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn elections_change_cost_not_answer() {
+        let values: Vec<u64> = (0..200).collect();
+        let sh = shards(&values, 5);
+        let q = ScalarPoint(77);
+        let mut answers = Vec::new();
+        for election in [ElectionKind::Fixed, ElectionKind::Star, ElectionKind::Flood] {
+            let opts = QueryOptions { election, ..Default::default() };
+            let out = run_query(&sh, &q, 4, Algorithm::Knn, &opts).unwrap();
+            match election {
+                ElectionKind::Fixed => assert!(out.election_metrics.is_none()),
+                ElectionKind::Star => {
+                    assert_eq!(out.election_metrics.as_ref().unwrap().messages, 8)
+                }
+                ElectionKind::Flood => {
+                    assert_eq!(out.election_metrics.as_ref().unwrap().messages, 20)
+                }
+            }
+            answers.push(
+                merge_answers(&out.local_keys).into_iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            );
+        }
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn empty_cluster_is_an_error() {
+        let sh: Vec<Dataset<ScalarPoint>> = Vec::new();
+        let err =
+            run_query(&sh, &ScalarPoint(0), 3, Algorithm::Knn, &QueryOptions::default())
+                .unwrap_err();
+        assert_eq!(err, CoreError::EmptyCluster);
+    }
+
+    #[test]
+    fn simple_chunk_respects_bandwidth() {
+        let opts = QueryOptions {
+            bandwidth: BandwidthMode::Enforce { bits_per_round: 512 },
+            ..Default::default()
+        };
+        assert_eq!(opts.simple_chunk(), 3); // (512-33)/128 = 3
+        let tiny = QueryOptions {
+            bandwidth: BandwidthMode::Enforce { bits_per_round: 64 },
+            ..Default::default()
+        };
+        assert_eq!(tiny.simple_chunk(), 1);
+    }
+
+    #[test]
+    fn merge_answers_sorts_globally() {
+        use knn_points::{Dist, PointId};
+        let a = DistKey::new(Dist::from_u64(5), PointId(1));
+        let b = DistKey::new(Dist::from_u64(1), PointId(2));
+        let c = DistKey::new(Dist::from_u64(3), PointId(3));
+        let merged = merge_answers(&[vec![a], vec![b, c]]);
+        assert_eq!(merged.iter().map(|&(_, m)| m).collect::<Vec<_>>(), vec![1, 1, 0]);
+        assert!(merged.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

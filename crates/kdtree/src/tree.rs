@@ -1,0 +1,184 @@
+//! Tree representation and median-split construction.
+
+use knn_points::{PointId, Record, VecPoint};
+
+/// Arena node: one point per node, children by index (`-1` = none).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    /// Index into the point arena.
+    pub point: u32,
+    /// Splitting axis at this node.
+    pub axis: u8,
+    /// Left child node index or -1.
+    pub left: i32,
+    /// Right child node index or -1.
+    pub right: i32,
+}
+
+/// Structural statistics of a built tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KdStats {
+    /// Number of points / nodes.
+    pub len: usize,
+    /// Longest root-to-leaf path (1 for a single node, 0 for empty).
+    pub depth: usize,
+}
+
+/// A static k-d tree over `f64` points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    pub(crate) dims: usize,
+    pub(crate) ids: Vec<PointId>,
+    pub(crate) coords: Vec<f64>, // row-major: point i at coords[i*dims..][..dims]
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: i32,
+}
+
+impl KdTree {
+    /// Build from `(id, coordinates)` pairs.
+    ///
+    /// Splitting axes cycle with depth; the split point is the median along
+    /// the axis, so the tree is balanced (depth `⌈log2 n⌉ + O(1)`) no matter
+    /// how adversarial the input distribution is.
+    ///
+    /// # Panics
+    /// If points disagree on dimensionality.
+    pub fn build(points: Vec<(PointId, Box<[f64]>)>) -> Self {
+        let dims = points.first().map_or(0, |(_, c)| c.len());
+        let n = points.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut coords = Vec::with_capacity(n * dims);
+        for (id, c) in &points {
+            assert_eq!(c.len(), dims, "dimension mismatch in k-d tree input");
+            ids.push(*id);
+            coords.extend_from_slice(c);
+        }
+        let mut tree = KdTree { dims, ids, coords, nodes: Vec::with_capacity(n), root: -1 };
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        tree.root = tree.build_range(&mut order, 0);
+        tree
+    }
+
+    /// Build from point records.
+    pub fn from_records(records: &[Record<VecPoint>]) -> Self {
+        Self::build(records.iter().map(|r| (r.id, r.point.0.clone())).collect())
+    }
+
+    fn build_range(&mut self, order: &mut [u32], depth: usize) -> i32 {
+        if order.is_empty() {
+            return -1;
+        }
+        let axis = if self.dims == 0 { 0 } else { depth % self.dims };
+        let mid = order.len() / 2;
+        // Median split along the axis; ties broken by id for determinism.
+        let dims = self.dims;
+        let coords = &self.coords;
+        let ids = &self.ids;
+        order.select_nth_unstable_by(mid, |&a, &b| {
+            let ca = coords[a as usize * dims + axis];
+            let cb = coords[b as usize * dims + axis];
+            ca.total_cmp(&cb).then_with(|| ids[a as usize].cmp(&ids[b as usize]))
+        });
+        let point = order[mid];
+        let node_idx = self.nodes.len() as i32;
+        self.nodes.push(Node { point, axis: axis as u8, left: -1, right: -1 });
+        let (lo, rest) = order.split_at_mut(mid);
+        let hi = &mut rest[1..];
+        let left = self.build_range(lo, depth + 1);
+        let right = self.build_range(hi, depth + 1);
+        let node = &mut self.nodes[node_idx as usize];
+        node.left = left;
+        node.right = right;
+        node_idx
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Dimensionality of the stored points (0 for an empty tree).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Coordinates of arena point `i`.
+    #[inline]
+    pub(crate) fn point(&self, i: u32) -> &[f64] {
+        &self.coords[i as usize * self.dims..(i as usize + 1) * self.dims]
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> KdStats {
+        fn depth_of(tree: &KdTree, node: i32) -> usize {
+            if node < 0 {
+                return 0;
+            }
+            let n = tree.nodes[node as usize];
+            1 + depth_of(tree, n.left).max(depth_of(tree, n.right))
+        }
+        KdStats { len: self.len(), depth: depth_of(self, self.root) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[&[f64]]) -> Vec<(PointId, Box<[f64]>)> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (PointId(i as u64), c.to_vec().into_boxed_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn build_empty_and_singleton() {
+        let t = KdTree::build(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), KdStats { len: 0, depth: 0 });
+
+        let t = KdTree::build(pts(&[&[1.0, 2.0]]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().depth, 1);
+        assert_eq!(t.dims(), 2);
+    }
+
+    #[test]
+    fn median_split_is_balanced() {
+        let n = 1024;
+        let points: Vec<(PointId, Box<[f64]>)> = (0..n)
+            .map(|i| (PointId(i as u64), vec![i as f64, (i * 37 % n) as f64].into_boxed_slice()))
+            .collect();
+        let t = KdTree::build(points);
+        let stats = t.stats();
+        assert_eq!(stats.len, n);
+        // Perfectly balanced depth for 1024 nodes is 11; allow +1 slack.
+        assert!(stats.depth <= 12, "depth = {}", stats.depth);
+    }
+
+    #[test]
+    fn balanced_even_on_duplicate_coordinates() {
+        let n = 512;
+        let points: Vec<(PointId, Box<[f64]>)> =
+            (0..n).map(|i| (PointId(i as u64), vec![1.0, 1.0].into_boxed_slice())).collect();
+        let t = KdTree::build(points);
+        assert!(t.stats().depth <= 11, "depth = {}", t.stats().depth);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_dims_rejected() {
+        let points = vec![
+            (PointId(0), vec![1.0].into_boxed_slice()),
+            (PointId(1), vec![1.0, 2.0].into_boxed_slice()),
+        ];
+        let _ = KdTree::build(points);
+    }
+}

@@ -1,0 +1,124 @@
+//! Network configuration for a simulated k-machine cluster.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-link bandwidth policy.
+///
+/// The k-machine model allows `B` bits per link per round; the usual choice
+/// is `B = Θ(log n)`. With [`BandwidthMode::Enforce`], every ordered link is
+/// a store-and-forward FIFO draining at most `B` bits per round, so a machine
+/// that ships `m` bits over one link pays `⌈m / B⌉` rounds. With
+/// [`BandwidthMode::Unlimited`], every message is delivered in the next round
+/// and bandwidth is only *accounted*, not enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BandwidthMode {
+    /// Deliver everything next round; only record bit counts.
+    Unlimited,
+    /// At most this many bits drain per ordered link per round.
+    Enforce {
+        /// Link capacity in bits per round (`B` in the model).
+        bits_per_round: u64,
+    },
+}
+
+impl BandwidthMode {
+    /// Link budget per round, or `u64::MAX` when unlimited.
+    #[inline]
+    pub fn budget(&self) -> u64 {
+        match *self {
+            BandwidthMode::Unlimited => u64::MAX,
+            BandwidthMode::Enforce { bits_per_round } => bits_per_round,
+        }
+    }
+}
+
+/// Default bandwidth used throughout the reproduction: enough for a constant
+/// number of `(value, id)` keys per round, the model's `Θ(log n)` regime.
+pub const DEFAULT_BANDWIDTH_BITS: u64 = 512;
+
+/// Configuration of a simulated cluster run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Number of machines (`k ≥ 2` in the model; we also allow 1 for tests).
+    pub k: usize,
+    /// Link bandwidth policy.
+    pub bandwidth: BandwidthMode,
+    /// Master seed; per-machine RNG streams are derived deterministically.
+    pub seed: u64,
+    /// Abort the run with [`crate::EngineError::MaxRounds`] past this round.
+    pub max_rounds: u64,
+    /// Synthetic per-round network latency, applied only by the threaded
+    /// engine (models cluster RTT; the sync engine ignores it).
+    pub round_latency: Duration,
+}
+
+impl NetConfig {
+    /// A config with `k` machines, enforced default bandwidth, seed 0.
+    pub fn new(k: usize) -> Self {
+        NetConfig {
+            k,
+            bandwidth: BandwidthMode::Enforce {
+                bits_per_round: DEFAULT_BANDWIDTH_BITS,
+            },
+            seed: 0,
+            max_rounds: 10_000_000,
+            round_latency: Duration::ZERO,
+        }
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the bandwidth mode.
+    pub fn with_bandwidth(mut self, bw: BandwidthMode) -> Self {
+        self.bandwidth = bw;
+        self
+    }
+
+    /// Set the per-round latency used by the threaded engine.
+    pub fn with_round_latency(mut self, latency: Duration) -> Self {
+        self.round_latency = latency;
+        self
+    }
+
+    /// Set the stall safety limit.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enforces_bandwidth() {
+        let cfg = NetConfig::new(8);
+        assert_eq!(cfg.k, 8);
+        assert_eq!(cfg.bandwidth.budget(), DEFAULT_BANDWIDTH_BITS);
+    }
+
+    #[test]
+    fn unlimited_budget_is_max() {
+        assert_eq!(BandwidthMode::Unlimited.budget(), u64::MAX);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = NetConfig::new(4)
+            .with_seed(7)
+            .with_bandwidth(BandwidthMode::Unlimited)
+            .with_max_rounds(99)
+            .with_round_latency(Duration::from_micros(50));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.bandwidth, BandwidthMode::Unlimited);
+        assert_eq!(cfg.max_rounds, 99);
+        assert_eq!(cfg.round_latency, Duration::from_micros(50));
+    }
+}

@@ -1,0 +1,58 @@
+//! Execution engines.
+//!
+//! Both engines drive the *same* [`Protocol`](crate::Protocol) code and — for
+//! protocols whose behavior is a deterministic function of state, inbox, and
+//! the private RNG — produce identical outputs, round counts, and message
+//! counts. [`run_sync`] is sequential and scales to thousands of simulated
+//! machines; [`run_threaded`] runs one OS thread per machine and is the one
+//! to use for wall-clock measurements.
+
+mod sync;
+mod threaded;
+
+pub use sync::run_sync;
+pub use threaded::run_threaded;
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NetConfig;
+use crate::error::EngineError;
+use crate::metrics::RunMetrics;
+use crate::protocol::Protocol;
+
+/// Result of a completed run.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// Per-machine outputs, indexed by machine id.
+    pub outputs: Vec<T>,
+    /// Exact communication accounting.
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the run. Physically meaningful only for the
+    /// threaded engine; for the sync engine it is simulation CPU time.
+    pub wall: Duration,
+}
+
+/// Which engine to run a protocol on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// Deterministic sequential lockstep simulation.
+    Sync,
+    /// One OS thread per machine, barrier-synchronized rounds.
+    Threaded,
+}
+
+impl Engine {
+    /// Run `protocols` (one per machine) under `cfg`.
+    pub fn run<P: Protocol>(
+        self,
+        cfg: &NetConfig,
+        protocols: Vec<P>,
+    ) -> Result<RunOutcome<P::Output>, EngineError> {
+        match self {
+            Engine::Sync => run_sync(cfg, protocols),
+            Engine::Threaded => run_threaded(cfg, protocols),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Deterministic sequential lockstep engine.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+
+use crate::config::NetConfig;
+use crate::ctx::Ctx;
+use crate::engine::RunOutcome;
+use crate::error::EngineError;
+use crate::link::LinkFifo;
+use crate::message::{Envelope, MachineId};
+use crate::metrics::RunMetrics;
+use crate::payload::Payload;
+use crate::protocol::{Protocol, Step};
+use crate::rng::machine_rng;
+
+/// Execute one protocol instance per machine until every machine has
+/// produced its output.
+///
+/// Each loop iteration is one synchronous round: every still-running machine
+/// sees the messages delivered to it this round, performs local computation,
+/// and hands new messages to the network; then every link drains at most `B`
+/// bits toward the next round. The run is a pure function of
+/// `(protocols, cfg.seed)` — useful both for tests and for exact round and
+/// message accounting at machine counts far beyond the host's core count.
+///
+/// # Panics
+/// If `protocols.len() != cfg.k`, or if bandwidth is `Enforce { 0 }`.
+pub fn run_sync<P: Protocol>(
+    cfg: &NetConfig,
+    mut protocols: Vec<P>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
+    let k = protocols.len();
+    assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
+    let budget = cfg.bandwidth.budget();
+    assert!(budget >= 1, "bandwidth must allow at least 1 bit per round");
+
+    let start = Instant::now();
+    let mut metrics = RunMetrics::new(k);
+    let mut rngs: Vec<StdRng> = (0..k).map(|i| machine_rng(cfg.seed, i)).collect();
+    let mut seqs = vec![0u64; k];
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut outputs: Vec<Option<P::Output>> = (0..k).map(|_| None).collect();
+    // Keyed by (dst, src) so per-destination delivery iterates sources in
+    // ascending order — the same deterministic inbox order the threaded
+    // engine recreates by sorting.
+    let mut links: BTreeMap<(MachineId, MachineId), LinkFifo<P::Msg>> = BTreeMap::new();
+    let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut done_count = 0usize;
+    let mut round: u64 = 0;
+
+    loop {
+        let mut sent_any = false;
+        let mut progressed = false;
+        for i in 0..k {
+            if outputs[i].is_some() {
+                if !inboxes[i].is_empty() {
+                    metrics.delivered_after_done += inboxes[i].len() as u64;
+                    inboxes[i].clear();
+                }
+                continue;
+            }
+            inboxes[i].sort_by_key(|e| (e.src, e.seq));
+            let step = {
+                let mut ctx = Ctx {
+                    id: i,
+                    k,
+                    round,
+                    inbox: &inboxes[i],
+                    outbox: &mut outbox,
+                    rng: &mut rngs[i],
+                    next_seq: &mut seqs[i],
+                };
+                protocols[i].on_round(&mut ctx)
+            };
+            inboxes[i].clear();
+            for env in outbox.drain(..) {
+                let bits = env.msg.size_bits().max(1);
+                metrics.on_send(i, bits);
+                links.entry((env.dst, env.src)).or_default().push(env, bits);
+                sent_any = true;
+            }
+            if let Step::Done(out) = step {
+                outputs[i] = Some(out);
+                done_count += 1;
+                progressed = true;
+            }
+        }
+
+        if done_count == k {
+            break;
+        }
+
+        // Transport: each link drains one round of budget.
+        let mut delivered_any = false;
+        for (&(dst, _src), link) in links.iter_mut() {
+            let before = inboxes[dst].len();
+            link.drain_round(budget, &mut inboxes[dst]);
+            delivered_any |= inboxes[dst].len() > before;
+            metrics.max_link_backlog_bits = metrics.max_link_backlog_bits.max(link.pending_bits());
+        }
+        links.retain(|_, l| !l.is_empty());
+
+        if !sent_any && !delivered_any && !progressed && links.is_empty() {
+            return Err(EngineError::Stalled { round });
+        }
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(EngineError::MaxRounds { limit: cfg.max_rounds });
+        }
+    }
+
+    metrics.rounds = round;
+    Ok(RunOutcome {
+        outputs: outputs.into_iter().map(|o| o.expect("all machines done")).collect(),
+        metrics,
+        wall: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthMode;
+
+    /// Machine 0 streams `n` 64-bit values to machine 1.
+    struct Stream {
+        n: u64,
+        received: u64,
+    }
+    impl Protocol for Stream {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match ctx.id() {
+                0 => {
+                    if ctx.round() == 0 {
+                        for v in 0..self.n {
+                            ctx.send(1, v);
+                        }
+                    }
+                    Step::Done(0)
+                }
+                _ => {
+                    self.received += ctx.inbox().len() as u64;
+                    if self.received == self.n {
+                        Step::Done(self.received)
+                    } else {
+                        Step::Continue
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_dictates_round_count() {
+        // 64 values of 64 bits over a 128-bit link: 2 values per round,
+        // so 32 transport rounds.
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let out = run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
+            .unwrap();
+        assert_eq!(out.outputs[1], 64);
+        assert_eq!(out.metrics.rounds, 32);
+        assert_eq!(out.metrics.messages, 64);
+        assert_eq!(out.metrics.bits, 64 * 64);
+        assert!(out.metrics.max_link_backlog_bits > 0);
+    }
+
+    #[test]
+    fn unlimited_bandwidth_is_one_round() {
+        let cfg = NetConfig::new(2).with_bandwidth(BandwidthMode::Unlimited);
+        let out = run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
+            .unwrap();
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    /// A deadlocked protocol: everyone waits forever.
+    struct WaitForever;
+    impl Protocol for WaitForever {
+        type Msg = ();
+        type Output = ();
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step<()> {
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn stall_is_detected() {
+        let cfg = NetConfig::new(3);
+        let err = run_sync(&cfg, vec![WaitForever, WaitForever, WaitForever]).unwrap_err();
+        assert!(matches!(err, EngineError::Stalled { .. }));
+    }
+
+    /// Ping-pong `rounds` times between machines 0 and 1.
+    struct PingPong {
+        remaining: u64,
+    }
+    impl Protocol for PingPong {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            let peer = 1 - ctx.id();
+            if ctx.id() == 0 && ctx.round() == 0 {
+                self.remaining -= 1;
+                ctx.send(peer, self.remaining);
+                return Step::Continue;
+            }
+            if let Some(&v) = ctx.first_from(peer) {
+                if v == 0 {
+                    return Step::Done(ctx.round());
+                }
+                self.remaining = v - 1;
+                ctx.send(peer, self.remaining);
+                if self.remaining == 0 {
+                    // Sent the final token; it will terminate the peer.
+                    return Step::Done(ctx.round());
+                }
+            }
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_count_exact() {
+        let cfg = NetConfig::new(2);
+        let out = run_sync(&cfg, vec![PingPong { remaining: 6 }, PingPong { remaining: 6 }]).unwrap();
+        // Tokens 5,4,3,2,1,0 are exchanged: 6 messages, each one round apart.
+        assert_eq!(out.metrics.messages, 6);
+        assert_eq!(out.metrics.rounds, 6);
+    }
+
+    #[test]
+    fn max_rounds_guard_trips() {
+        // Ping-pong needs 6 rounds but we only allow 3.
+        let cfg = NetConfig::new(2).with_max_rounds(3);
+        let err =
+            run_sync(&cfg, vec![PingPong { remaining: 6 }, PingPong { remaining: 6 }]).unwrap_err();
+        assert_eq!(err, EngineError::MaxRounds { limit: 3 });
+    }
+
+    /// Everyone broadcasts its id; everyone outputs the sum of what it saw.
+    struct GossipSum {
+        acc: u64,
+        got: usize,
+    }
+    impl Protocol for GossipSum {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.id() as u64);
+                return Step::Continue;
+            }
+            for e in ctx.inbox() {
+                self.acc += e.msg;
+                self.got += 1;
+            }
+            if self.got == ctx.k() - 1 {
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_broadcast() {
+        let k = 8;
+        let cfg = NetConfig::new(k);
+        let protos = (0..k).map(|_| GossipSum { acc: 0, got: 0 }).collect();
+        let out = run_sync(&cfg, protos).unwrap();
+        let expected: u64 = (0..k as u64).sum();
+        for (i, got) in out.outputs.iter().enumerate() {
+            assert_eq!(*got + i as u64, expected, "machine {i}");
+        }
+        assert_eq!(out.metrics.messages, (k * (k - 1)) as u64);
+        assert_eq!(out.metrics.rounds, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_everything() {
+        let cfg = NetConfig::new(4).with_seed(99);
+        let mk = || (0..4).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_sync(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

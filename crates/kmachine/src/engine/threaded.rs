@@ -1,0 +1,385 @@
+//! Threaded engine: one OS thread per machine.
+//!
+//! Every simulated round is three barrier phases:
+//!
+//! 1. **decide** — thread 0 checks termination / stall / round-limit using
+//!    the counters committed by the previous round, and applies the optional
+//!    synthetic per-round latency;
+//! 2. **take** — every thread atomically takes its inbox (all takes complete
+//!    before anyone sends, so a round's deliveries can never mix with the
+//!    next round's);
+//! 3. **compute + transport** — every thread runs its protocol, enqueues
+//!    sends on its private per-destination link FIFOs, and drains one round
+//!    of bandwidth budget from each FIFO into the recipients' inboxes.
+//!
+//! Inboxes are sorted by `(src, seq)` before delivery to the protocol, so
+//! executions are bit-identical to [`run_sync`](super::run_sync) for
+//! deterministic protocols — the only difference is that local computation
+//! genuinely runs in parallel, which is what the wall-clock experiments
+//! measure.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::config::NetConfig;
+use crate::ctx::Ctx;
+use crate::engine::RunOutcome;
+use crate::error::EngineError;
+use crate::link::LinkFifo;
+use crate::message::{Envelope, MachineId};
+use crate::metrics::RunMetrics;
+use crate::payload::Payload;
+use crate::protocol::{Protocol, Step};
+use crate::rng::machine_rng;
+
+struct Shared<M> {
+    barrier: Barrier,
+    inboxes: Vec<Mutex<Vec<Envelope<M>>>>,
+    stop: AtomicBool,
+    error: Mutex<Option<EngineError>>,
+    done_count: AtomicUsize,
+    backlog_bits: AtomicI64,
+    activity: AtomicBool,
+    rounds: AtomicU64,
+    messages: AtomicU64,
+    bits: AtomicU64,
+    delivered_after_done: AtomicU64,
+    max_backlog: AtomicU64,
+}
+
+/// Execute one protocol instance per machine, each on its own OS thread.
+///
+/// Semantics (outputs, rounds, messages) match [`run_sync`](super::run_sync);
+/// wall-clock time additionally reflects parallel local computation, barrier
+/// synchronization, and the configured [`NetConfig::round_latency`].
+///
+/// # Panics
+/// If `protocols.len() != cfg.k` or bandwidth is `Enforce { 0 }`.
+pub fn run_threaded<P: Protocol>(
+    cfg: &NetConfig,
+    protocols: Vec<P>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
+    let k = protocols.len();
+    assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
+    let budget = cfg.bandwidth.budget();
+    assert!(budget >= 1, "bandwidth must allow at least 1 bit per round");
+
+    let shared = Shared::<P::Msg> {
+        barrier: Barrier::new(k),
+        inboxes: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        stop: AtomicBool::new(false),
+        error: Mutex::new(None),
+        done_count: AtomicUsize::new(0),
+        backlog_bits: AtomicI64::new(0),
+        activity: AtomicBool::new(false),
+        rounds: AtomicU64::new(0),
+        messages: AtomicU64::new(0),
+        bits: AtomicU64::new(0),
+        delivered_after_done: AtomicU64::new(0),
+        max_backlog: AtomicU64::new(0),
+    };
+    let outputs: Vec<Mutex<Option<P::Output>>> = (0..k).map(|_| Mutex::new(None)).collect();
+    let sends: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for (id, proto) in protocols.into_iter().enumerate() {
+            let shared = &shared;
+            let outputs = &outputs;
+            let sends = &sends;
+            scope.spawn(move || {
+                machine_main(id, k, cfg, budget, proto, shared, outputs, sends);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    if let Some(err) = shared.error.lock().take() {
+        return Err(err);
+    }
+    let mut metrics = RunMetrics::new(k);
+    metrics.rounds = shared.rounds.load(Ordering::Acquire);
+    metrics.messages = shared.messages.load(Ordering::Acquire);
+    metrics.bits = shared.bits.load(Ordering::Acquire);
+    metrics.delivered_after_done = shared.delivered_after_done.load(Ordering::Acquire);
+    metrics.max_link_backlog_bits = shared.max_backlog.load(Ordering::Acquire);
+    metrics.sends_per_machine = sends.iter().map(|a| a.load(Ordering::Acquire)).collect();
+
+    let mut outs = Vec::with_capacity(k);
+    for (i, slot) in outputs.iter().enumerate() {
+        match slot.lock().take() {
+            Some(o) => outs.push(o),
+            None => return Err(EngineError::WorkerPanic { machine: i }),
+        }
+    }
+    Ok(RunOutcome { outputs: outs, metrics, wall })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn machine_main<P: Protocol>(
+    id: MachineId,
+    k: usize,
+    cfg: &NetConfig,
+    budget: u64,
+    mut proto: P,
+    shared: &Shared<P::Msg>,
+    outputs: &[Mutex<Option<P::Output>>],
+    sends: &[AtomicU64],
+) {
+    let mut rng = machine_rng(cfg.seed, id);
+    let mut seq = 0u64;
+    let mut links: HashMap<MachineId, LinkFifo<P::Msg>> = HashMap::new();
+    let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut stage: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut my_pending_bits = 0u64;
+    let mut round = 0u64;
+    let mut done = false;
+    let mut poisoned = false;
+
+    loop {
+        // Phase 1: decide. All sends of the previous round are committed.
+        shared.barrier.wait();
+        if id == 0 {
+            let all_done = shared.done_count.load(Ordering::Acquire) == k;
+            let backlog = shared.backlog_bits.load(Ordering::Acquire);
+            let active = shared.activity.swap(false, Ordering::AcqRel);
+            if all_done {
+                shared.rounds.store(round.saturating_sub(1), Ordering::Release);
+                shared.stop.store(true, Ordering::Release);
+            } else if round > cfg.max_rounds {
+                *shared.error.lock() = Some(EngineError::MaxRounds { limit: cfg.max_rounds });
+                shared.stop.store(true, Ordering::Release);
+            } else if round > 0 && !active && backlog == 0 {
+                *shared.error.lock() = Some(EngineError::Stalled { round: round - 1 });
+                shared.stop.store(true, Ordering::Release);
+            } else if !cfg.round_latency.is_zero() {
+                std::thread::sleep(cfg.round_latency);
+            }
+        }
+        // Phase 2: the decision (and everyone's inbox take) is published.
+        shared.barrier.wait();
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut msgs = std::mem::take(&mut *shared.inboxes[id].lock());
+        shared.barrier.wait();
+
+        // Phase 3: compute + transport.
+        msgs.sort_by_key(|e| (e.src, e.seq));
+        if done || poisoned {
+            if !msgs.is_empty() {
+                shared.delivered_after_done.fetch_add(msgs.len() as u64, Ordering::AcqRel);
+            }
+        } else {
+            let step = {
+                let inbox = &msgs;
+                let mut ctx = Ctx {
+                    id,
+                    k,
+                    round,
+                    inbox,
+                    outbox: &mut outbox,
+                    rng: &mut rng,
+                    next_seq: &mut seq,
+                };
+                catch_unwind(AssertUnwindSafe(|| proto.on_round(&mut ctx)))
+            };
+            match step {
+                Ok(Step::Continue) => {}
+                Ok(Step::Done(out)) => {
+                    *outputs[id].lock() = Some(out);
+                    shared.done_count.fetch_add(1, Ordering::AcqRel);
+                    shared.activity.store(true, Ordering::Release);
+                    done = true;
+                }
+                Err(_) => {
+                    // Record the failure, then keep participating in the
+                    // barrier dance as a silent machine so nobody deadlocks.
+                    let mut err = shared.error.lock();
+                    if err.is_none() {
+                        *err = Some(EngineError::WorkerPanic { machine: id });
+                    }
+                    shared.done_count.fetch_add(1, Ordering::AcqRel);
+                    shared.activity.store(true, Ordering::Release);
+                    poisoned = true;
+                }
+            }
+            let mut sent = 0u64;
+            for env in outbox.drain(..) {
+                let bits = env.msg.size_bits().max(1);
+                shared.messages.fetch_add(1, Ordering::AcqRel);
+                shared.bits.fetch_add(bits, Ordering::AcqRel);
+                links.entry(env.dst).or_default().push(env, bits);
+                sent += 1;
+            }
+            if sent > 0 {
+                sends[id].fetch_add(sent, Ordering::AcqRel);
+                shared.activity.store(true, Ordering::Release);
+            }
+        }
+
+        let mut delivered_any = false;
+        let mut now_pending = 0u64;
+        for (&dst, link) in links.iter_mut() {
+            if !link.is_empty() {
+                link.drain_round(budget, &mut stage);
+                if !stage.is_empty() {
+                    delivered_any = true;
+                    shared.inboxes[dst].lock().append(&mut stage);
+                }
+                shared.max_backlog.fetch_max(link.pending_bits(), Ordering::AcqRel);
+            }
+            now_pending += link.pending_bits();
+        }
+        if delivered_any {
+            shared.activity.store(true, Ordering::Release);
+        }
+        let delta = now_pending as i64 - my_pending_bits as i64;
+        if delta != 0 {
+            shared.backlog_bits.fetch_add(delta, Ordering::AcqRel);
+        }
+        my_pending_bits = now_pending;
+        round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthMode;
+    use crate::engine::run_sync;
+
+    /// Everyone broadcasts its id; everyone outputs the sum of what it saw.
+    struct GossipSum {
+        acc: u64,
+        got: usize,
+    }
+    impl Protocol for GossipSum {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.id() as u64);
+                return Step::Continue;
+            }
+            for e in ctx.inbox() {
+                self.acc += e.msg;
+                self.got += 1;
+            }
+            if self.got == ctx.k() - 1 {
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sync_engine_exactly() {
+        let cfg = NetConfig::new(8).with_seed(5);
+        let mk = || (0..8).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_threaded(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.metrics.bits, b.metrics.bits);
+    }
+
+    /// Machine 0 streams values to machine 1 over a narrow link.
+    struct Stream {
+        n: u64,
+        received: u64,
+    }
+    impl Protocol for Stream {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match ctx.id() {
+                0 => {
+                    if ctx.round() == 0 {
+                        for v in 0..self.n {
+                            ctx.send(1, v);
+                        }
+                    }
+                    Step::Done(0)
+                }
+                _ => {
+                    self.received += ctx.inbox().len() as u64;
+                    if self.received == self.n {
+                        Step::Done(self.received)
+                    } else {
+                        Step::Continue
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_rounds_match_sync() {
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_threaded(&cfg, mk()).unwrap();
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(b.metrics.rounds, 32);
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    struct WaitForever;
+    impl Protocol for WaitForever {
+        type Msg = ();
+        type Output = ();
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step<()> {
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn stall_detected_without_deadlock() {
+        let cfg = NetConfig::new(4);
+        let err = run_threaded(&cfg, vec![WaitForever, WaitForever, WaitForever, WaitForever])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Stalled { .. }));
+    }
+
+    struct PanicsOnRoundOne;
+    impl Protocol for PanicsOnRoundOne {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.id() == 1 {
+                panic!("intentional test panic");
+            }
+            if ctx.round() == 0 {
+                ctx.send(1, 7);
+                return Step::Continue;
+            }
+            Step::Done(0)
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_hung() {
+        let cfg = NetConfig::new(2);
+        let err = run_threaded(&cfg, vec![PanicsOnRoundOne, PanicsOnRoundOne]).unwrap_err();
+        assert_eq!(err, EngineError::WorkerPanic { machine: 1 });
+    }
+
+    #[test]
+    fn round_latency_slows_wall_clock() {
+        use std::time::Duration;
+        let cfg = NetConfig::new(2).with_round_latency(Duration::from_millis(2));
+        let mk = || vec![Stream { n: 8, received: 0 }, Stream { n: 8, received: 0 }];
+        let out = run_threaded(&cfg, mk()).unwrap();
+        // 2 transport rounds at 512 bits => at least ~2 * 2ms of latency.
+        assert!(out.wall >= Duration::from_millis(4), "wall = {:?}", out.wall);
+    }
+}

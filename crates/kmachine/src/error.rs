@@ -1,0 +1,58 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Failure modes of a simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No machine progressed, nothing was in flight, and not everyone was
+    /// done — the protocol deadlocked (it is waiting for a message that will
+    /// never arrive).
+    Stalled {
+        /// Round at which the stall was detected.
+        round: u64,
+    },
+    /// The run exceeded [`crate::NetConfig::max_rounds`].
+    MaxRounds {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A worker thread of the threaded engine panicked.
+    WorkerPanic {
+        /// Machine whose thread panicked.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Stalled { round } => {
+                write!(f, "protocol stalled at round {round}: no progress and no messages in flight")
+            }
+            EngineError::MaxRounds { limit } => {
+                write!(f, "exceeded the configured round limit ({limit})")
+            }
+            EngineError::WorkerPanic { machine } => {
+                write!(f, "worker thread for machine {machine} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let s = EngineError::Stalled { round: 5 }.to_string();
+        assert!(s.contains("round 5"));
+        let s = EngineError::MaxRounds { limit: 10 }.to_string();
+        assert!(s.contains("10"));
+        let s = EngineError::WorkerPanic { machine: 3 }.to_string();
+        assert!(s.contains("3"));
+    }
+}

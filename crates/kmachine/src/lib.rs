@@ -1,0 +1,91 @@
+//! # kmachine — a simulator for the *k-machine model* of distributed computing
+//!
+//! The k-machine model (Klauck, Nanongkai, Pandurangan, Robinson; SODA 2015)
+//! consists of `k ≥ 2` machines pairwise interconnected by bidirectional
+//! point-to-point links. Computation proceeds in **synchronous rounds**: in
+//! each round every machine may perform arbitrary local computation and send
+//! at most `B` bits over each of its `k − 1` links. Local computation is free
+//! in the model; the costs that matter are **rounds** and **messages**.
+//!
+//! This crate provides:
+//!
+//! * a [`Protocol`] trait — distributed algorithms are written once as
+//!   per-machine state machines driven round by round;
+//! * two engines that execute the *same* protocol code:
+//!   * [`engine::run_sync`] — a deterministic sequential lockstep simulator
+//!     with exact round/message/bit accounting (scales to thousands of
+//!     simulated machines);
+//!   * [`engine::run_threaded`] — one OS thread per machine with
+//!     barrier-synchronized rounds, for wall-clock experiments;
+//! * bandwidth-limited links ([`BandwidthMode::Enforce`]): each ordered link
+//!   drains at most `B` bits per round, store-and-forward, so protocols that
+//!   ship a lot of data genuinely pay for it in rounds;
+//! * leader election protocols ([`leader`]);
+//! * reproducible per-machine randomness derived from a single master seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use kmachine::{NetConfig, Protocol, Ctx, Step, Payload, engine::run_sync};
+//!
+//! /// Every machine sends its value to machine 0, which sums them.
+//! struct SumToZero { value: u64, acc: u64, got: usize }
+//!
+//! #[derive(Clone, Debug)]
+//! struct Val(u64);
+//! impl Payload for Val {
+//!     fn size_bits(&self) -> u64 { 64 }
+//! }
+//!
+//! impl Protocol for SumToZero {
+//!     type Msg = Val;
+//!     type Output = u64;
+//!     fn on_round(&mut self, ctx: &mut Ctx<'_, Val>) -> Step<u64> {
+//!         if ctx.id() != 0 {
+//!             if ctx.round() == 0 {
+//!                 ctx.send(0, Val(self.value));
+//!             }
+//!             return Step::Done(0);
+//!         }
+//!         for env in ctx.inbox() {
+//!             self.acc += env.msg.0;
+//!             self.got += 1;
+//!         }
+//!         if self.got == ctx.k() - 1 {
+//!             Step::Done(self.acc + self.value)
+//!         } else {
+//!             Step::Continue
+//!         }
+//!     }
+//! }
+//!
+//! let cfg = NetConfig::new(4);
+//! let protos = (0..4).map(|i| SumToZero { value: i as u64, acc: 0, got: 0 }).collect();
+//! let out = run_sync(&cfg, protos).unwrap();
+//! assert_eq!(out.outputs[0], 0 + 1 + 2 + 3);
+//! assert_eq!(out.metrics.rounds, 1); // one communication round
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ctx;
+pub mod engine;
+pub mod error;
+pub mod leader;
+pub mod link;
+pub mod message;
+pub mod metrics;
+pub mod payload;
+pub mod protocol;
+pub mod rng;
+
+pub use config::{BandwidthMode, NetConfig};
+pub use ctx::Ctx;
+pub use engine::{run_sync, run_threaded, Engine, RunOutcome};
+pub use error::EngineError;
+pub use message::{Envelope, MachineId};
+pub use metrics::RunMetrics;
+pub use payload::Payload;
+pub use protocol::{Protocol, Step};

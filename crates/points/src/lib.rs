@@ -1,0 +1,34 @@
+//! # knn-points — points, metrics, and distance keys
+//!
+//! Geometry substrate for the SPAA 2020 k-NN reproduction. The paper's key
+//! observation (§2) is that the distributed algorithms never need to ship
+//! points — only **distances** and **point identifiers**:
+//!
+//! * every point gets a random unique [`PointId`] (the paper draws from
+//!   `[1, n³]`; we draw 64-bit ids, collision-free with even higher
+//!   probability), which also breaks ties between equidistant points;
+//! * a distance is encoded as a total-ordered [`Dist`];
+//! * the pair `(Dist, PointId)` forms a [`DistKey`] — the `O(log n)`-bit
+//!   value the protocols actually exchange.
+//!
+//! Point flavors: [`ScalarPoint`] (the paper's experimental workload:
+//! unsigned integers on a line), [`VecPoint`] (dense `f64` vectors under
+//! [`Metric::Euclidean`] and friends), and [`BitsPoint`] (bit strings under
+//! Hamming distance).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dist;
+pub mod id;
+pub mod key;
+pub mod metric;
+pub mod point;
+
+pub use dataset::{brute_force_knn, Dataset, Label, Record};
+pub use dist::Dist;
+pub use id::{IdAssigner, PointId};
+pub use key::{DistKey, Key, NumericKey};
+pub use metric::Metric;
+pub use point::{BitsPoint, Point, ScalarPoint, VecPoint};

@@ -1,0 +1,129 @@
+//! Floyd–Rivest SELECT (CACM 1975) — the classic expected
+//! `n + min(k, n−k) + O(√n)`-comparison selection algorithm.
+//!
+//! Included alongside quickselect and median-of-medians because it is the
+//! strongest *sequential* selection competitor: the distributed layer's
+//! local truncation step spends most of its time here, and the benchmark
+//! suite compares all three.
+
+use rand::RngExt;
+
+/// In-place Floyd–Rivest selection: after the call `data[n]` holds the
+/// rank-`n` (0-based) value with the partition invariant around it.
+///
+/// Falls back to plain partitioning on small ranges; on large ranges it
+/// first recursively selects within a `O(n^{2/3})`-sized sample to obtain
+/// two pivots that bracket the target rank with high probability, then
+/// partitions against them — touching most elements only once.
+///
+/// # Panics
+/// If `n >= data.len()`.
+pub fn floyd_rivest_select<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, rng: &mut R) {
+    assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
+    let mut left = 0usize;
+    let mut right = data.len() - 1;
+    while right > left {
+        if right - left > 600 {
+            // Sample bounds (constants from the original paper).
+            let len = (right - left + 1) as f64;
+            let i = (n - left + 1) as f64;
+            let z = len.ln();
+            let s = 0.5 * (2.0 * z / 3.0).exp();
+            let sign = if i < len / 2.0 { -1.0 } else { 1.0 };
+            let sd = 0.5 * (z * s * (len - s) / len).sqrt() * sign;
+            let new_left =
+                (n as f64 - i * s / len + sd).max(left as f64) as usize;
+            let new_right =
+                (n as f64 + (len - i) * s / len + sd).min(right as f64) as usize;
+            if new_left <= n && n <= new_right && new_right - new_left < right - left {
+                floyd_rivest_select(&mut data[new_left..=new_right], n - new_left, rng);
+            }
+        }
+        // Hoare partition around data[n].
+        let t = data[n];
+        let mut i = left;
+        let mut j = right;
+        data.swap(left, n);
+        if data[right] > t {
+            data.swap(left, right);
+        }
+        while i < j {
+            data.swap(i, j);
+            i += 1;
+            j -= 1;
+            while data[i] < t {
+                i += 1;
+            }
+            while data[j] > t {
+                j -= 1;
+            }
+        }
+        if data[left] == t {
+            data.swap(left, j);
+        } else {
+            j += 1;
+            data.swap(j, right);
+        }
+        // Narrow to the side containing rank n.
+        if j <= n {
+            left = j + 1;
+        }
+        if n <= j {
+            if j == 0 {
+                break; // n == 0 and it is already in place.
+            }
+            right = j - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check(mut data: Vec<u64>, n: usize, seed: u64) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut rng = StdRng::seed_from_u64(seed);
+        floyd_rivest_select(&mut data, n, &mut rng);
+        assert_eq!(data[n], expected[n], "rank {n} of {} elements", expected.len());
+        assert!(data[..n].iter().all(|&x| x <= data[n]));
+        assert!(data[n + 1..].iter().all(|&x| x >= data[n]));
+    }
+
+    #[test]
+    fn all_ranks_small() {
+        let base: Vec<u64> = vec![9, 3, 7, 1, 5, 5, 5, 0, 2, 8, 100, 42];
+        for n in 0..base.len() {
+            check(base.clone(), n, n as u64);
+        }
+    }
+
+    #[test]
+    fn large_inputs_all_patterns() {
+        let n = 50_000usize;
+        check((0..n as u64).collect(), n / 2, 1);
+        check((0..n as u64).rev().collect(), n / 3, 2);
+        check(vec![7; n], n - 1, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let random: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        check(random.clone(), 0, 5);
+        check(random.clone(), n - 1, 6);
+        check(random, 617, 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_sort(
+            data in proptest::collection::vec(0u64..10_000, 1..2000),
+            n_frac in 0.0f64..1.0,
+            seed in 0u64..1000,
+        ) {
+            let n = ((data.len() - 1) as f64 * n_frac) as usize;
+            check(data, n, seed);
+        }
+    }
+}

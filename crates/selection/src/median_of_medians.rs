@@ -1,0 +1,121 @@
+//! Deterministic linear-time selection (BFPRT / "median of medians").
+
+use crate::partition::partition3;
+
+/// The value of rank `n` (0-based) in `data`, computed in worst-case
+/// `O(len)` time with the groups-of-5 pivot rule. `data` is reordered.
+///
+/// # Panics
+/// If `n >= data.len()`.
+pub fn median_of_medians<T: Ord + Copy>(data: &mut [T], n: usize) -> T {
+    assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
+    median_of_medians_select(data, n);
+    data[n]
+}
+
+/// In-place variant: after the call `data[n]` is the rank-`n` value with the
+/// usual partition invariant around it.
+pub(crate) fn median_of_medians_select<T: Ord + Copy>(data: &mut [T], n: usize) {
+    debug_assert!(n < data.len());
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    loop {
+        if hi - lo <= 1 {
+            return;
+        }
+        if hi - lo <= 10 {
+            data[lo..hi].sort_unstable();
+            return;
+        }
+        let pivot = pick_pivot(&mut data[lo..hi]);
+        let (lt, gt) = {
+            let (l, g) = partition3(&mut data[lo..hi], pivot);
+            (lo + l, lo + g)
+        };
+        if n < lt {
+            hi = lt;
+        } else if n >= gt {
+            lo = gt;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Median of the medians of groups of 5 — guaranteed to sit between the
+/// 30th and 70th percentile, bounding the recursion.
+fn pick_pivot<T: Ord + Copy>(data: &mut [T]) -> T {
+    let len = data.len();
+    let groups = len / 5;
+    for g in 0..groups {
+        let start = g * 5;
+        data[start..start + 5].sort_unstable();
+        // Move the group median to the front block.
+        data.swap(g, start + 2);
+    }
+    if groups == 0 {
+        // len < 5: median of the whole slice.
+        let mut tmp = data.to_vec();
+        tmp.sort_unstable();
+        return tmp[tmp.len() / 2];
+    }
+    let mid = groups / 2;
+    median_of_medians_recurse(&mut data[..groups], mid);
+    data[mid]
+}
+
+fn median_of_medians_recurse<T: Ord + Copy>(data: &mut [T], n: usize) {
+    median_of_medians_select(data, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check(mut data: Vec<u64>, n: usize) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let got = median_of_medians(&mut data, n);
+        assert_eq!(got, expected[n], "rank {n} of len {}", expected.len());
+    }
+
+    #[test]
+    fn all_ranks_small_inputs() {
+        for len in 1..=30usize {
+            let data: Vec<u64> = (0..len as u64).map(|i| (i * 7919) % 100).collect();
+            for n in 0..len {
+                check(data.clone(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_patterns() {
+        check((0..10_000).collect(), 5_000);
+        check((0..10_000).rev().collect(), 5_000);
+        check(vec![42; 10_000], 9_999);
+        // Organ pipe.
+        let mut organ: Vec<u64> = (0..5000).chain((0..5000).rev()).collect();
+        let mut expected = organ.clone();
+        expected.sort_unstable();
+        assert_eq!(median_of_medians(&mut organ, 7000), expected[7000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_panics() {
+        median_of_medians::<u64>(&mut [1], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sort(
+            data in proptest::collection::vec(0u64..500, 1..300),
+            n_frac in 0.0f64..1.0,
+        ) {
+            let n = ((data.len() - 1) as f64 * n_frac) as usize;
+            check(data, n);
+        }
+    }
+}

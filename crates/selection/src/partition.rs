@@ -1,0 +1,79 @@
+//! Three-way (Dutch national flag) partitioning.
+
+/// Partition `data` around `pivot` in place. Returns `(lt, gt)` such that
+/// afterwards:
+///
+/// * `data[..lt]    <  pivot`
+/// * `data[lt..gt] == pivot`
+/// * `data[gt..]    >  pivot`
+///
+/// Three-way partitioning keeps selection linear even on inputs that are
+/// mostly duplicates — the degenerate case the paper handles with unique
+/// tie-breaking ids, and that a plain two-way Lomuto partition turns
+/// quadratic.
+pub fn partition3<T: Ord + Copy>(data: &mut [T], pivot: T) -> (usize, usize) {
+    let mut lt = 0;
+    let mut i = 0;
+    let mut gt = data.len();
+    while i < gt {
+        if data[i] < pivot {
+            data.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if data[i] > pivot {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(data: &mut [u64], pivot: u64) {
+        let mut sorted_before = data.to_vec();
+        sorted_before.sort_unstable();
+        let (lt, gt) = partition3(data, pivot);
+        assert!(data[..lt].iter().all(|&x| x < pivot));
+        assert!(data[lt..gt].iter().all(|&x| x == pivot));
+        assert!(data[gt..].iter().all(|&x| x > pivot));
+        let mut sorted_after = data.to_vec();
+        sorted_after.sort_unstable();
+        assert_eq!(sorted_before, sorted_after, "partition must be a permutation");
+    }
+
+    #[test]
+    fn basic_partition() {
+        check(&mut [5, 1, 9, 5, 3, 7, 5], 5);
+    }
+
+    #[test]
+    fn pivot_absent() {
+        check(&mut [1, 9, 3, 7], 5);
+    }
+
+    #[test]
+    fn all_equal() {
+        check(&mut [4, 4, 4, 4], 4);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        check(&mut [], 1);
+        check(&mut [2], 2);
+        check(&mut [2], 1);
+        check(&mut [2], 3);
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut a: Vec<u64> = (0..100).collect();
+        check(&mut a, 50);
+        let mut b: Vec<u64> = (0..100).rev().collect();
+        check(&mut b, 50);
+    }
+}

@@ -1,0 +1,156 @@
+//! Randomized quickselect — the sequential analogue of the paper's
+//! distributed Algorithm 1.
+
+use rand::RngExt;
+
+use crate::median_of_medians::median_of_medians_select;
+use crate::partition::partition3;
+
+/// In-place randomized selection: after the call `data[n]` holds the value
+/// of rank `n` (0-based), with `data[..n] ≤ data[n] ≤ data[n+1..]`.
+/// Expected `O(len)` comparisons; see CLRS §9.2 (the paper's reference \[5\]).
+///
+/// # Panics
+/// If `n >= data.len()`.
+pub fn quickselect<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, rng: &mut R) {
+    assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    loop {
+        if hi - lo <= 1 {
+            return;
+        }
+        let pivot = data[rng.random_range(lo..hi)];
+        let (lt, gt) = partition3_offset(data, lo, hi, pivot);
+        if n < lt {
+            hi = lt;
+        } else if n >= gt {
+            lo = gt;
+        } else {
+            return; // n lands in the equal run.
+        }
+    }
+}
+
+/// Quickselect with a depth limit: after `2 * ceil(log2 len) + 8` shrinking
+/// iterations that failed to finish, switch to deterministic
+/// median-of-medians. Worst case `O(len)` regardless of RNG behavior.
+pub fn select_with_depth_limit<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, rng: &mut R) {
+    assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    let mut budget = 2 * (usize::BITS - data.len().leading_zeros()) as usize + 8;
+    loop {
+        if hi - lo <= 1 {
+            return;
+        }
+        if budget == 0 {
+            median_of_medians_select(&mut data[lo..hi], n - lo);
+            return;
+        }
+        budget -= 1;
+        let pivot = data[rng.random_range(lo..hi)];
+        let (lt, gt) = partition3_offset(data, lo, hi, pivot);
+        if n < lt {
+            hi = lt;
+        } else if n >= gt {
+            lo = gt;
+        } else {
+            return;
+        }
+    }
+}
+
+/// [`partition3`] on `data[lo..hi]`, returning absolute boundaries.
+fn partition3_offset<T: Ord + Copy>(data: &mut [T], lo: usize, hi: usize, pivot: T) -> (usize, usize) {
+    let (lt, gt) = partition3(&mut data[lo..hi], pivot);
+    (lo + lt, lo + gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check_select(mut data: Vec<u64>, n: usize, seed: u64) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let mut rng = StdRng::seed_from_u64(seed);
+        quickselect(&mut data, n, &mut rng);
+        assert_eq!(data[n], expected[n], "rank {n}");
+        assert!(data[..n].iter().all(|&x| x <= data[n]));
+        assert!(data[n + 1..].iter().all(|&x| x >= data[n]));
+    }
+
+    #[test]
+    fn selects_every_rank_small() {
+        let base: Vec<u64> = vec![9, 3, 7, 1, 5, 5, 5, 0, 2, 8];
+        for n in 0..base.len() {
+            check_select(base.clone(), n, n as u64);
+        }
+    }
+
+    #[test]
+    fn handles_sorted_reverse_and_constant() {
+        check_select((0..1000).collect(), 500, 1);
+        check_select((0..1000).rev().collect(), 500, 2);
+        check_select(vec![7; 1000], 123, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rank_out_of_bounds_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        quickselect::<u64, _>(&mut [1, 2, 3], 3, &mut rng);
+    }
+
+    #[test]
+    fn depth_limited_variant_agrees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in [1usize, 2, 3, 10, 100, 1000] {
+            let data: Vec<u64> = (0..len as u64).map(|i| i * 37 % (len as u64)).collect();
+            for n in [0, len / 3, len / 2, len - 1] {
+                let mut a = data.clone();
+                let mut b = data.clone();
+                select_with_depth_limit(&mut a, n, &mut rng);
+                let mut expected = b.clone();
+                expected.sort_unstable();
+                quickselect(&mut b, n, &mut rng);
+                assert_eq!(a[n], expected[n]);
+                assert_eq!(b[n], expected[n]);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quickselect_matches_sort(
+            data in proptest::collection::vec(0u64..1000, 1..200),
+            n_frac in 0.0f64..1.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let n = ((data.len() - 1) as f64 * n_frac) as usize;
+            let mut expected = data.clone();
+            expected.sort_unstable();
+            let mut got = data;
+            let mut rng = StdRng::seed_from_u64(seed);
+            quickselect(&mut got, n, &mut rng);
+            prop_assert_eq!(got[n], expected[n]);
+        }
+
+        #[test]
+        fn prop_partition_invariant_after_select(
+            data in proptest::collection::vec(0i64..50, 2..100),
+            seed in 0u64..u64::MAX,
+        ) {
+            let n = data.len() / 2;
+            let mut got = data;
+            let mut rng = StdRng::seed_from_u64(seed);
+            select_with_depth_limit(&mut got, n, &mut rng);
+            let v = got[n];
+            prop_assert!(got[..n].iter().all(|&x| x <= v));
+            prop_assert!(got[n + 1..].iter().all(|&x| x >= v));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Sort-based reference implementations used as test oracles.
+
+/// The rank-`n` (0-based) value by full sort — `O(n log n)`, trivially
+/// correct, the oracle every selection algorithm is tested against.
+pub fn nth_by_sort<T: Ord + Copy>(data: &[T], n: usize) -> T {
+    assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
+    let mut copy = data.to_vec();
+    copy.sort_unstable();
+    copy[n]
+}
+
+/// The `k` smallest values by full sort, ascending.
+pub fn smallest_k_by_sort<T: Ord + Copy>(data: &[T], k: usize) -> Vec<T> {
+    let mut copy = data.to_vec();
+    copy.sort_unstable();
+    copy.truncate(k);
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_behaviour() {
+        let data = [5u64, 1, 4, 1, 5, 9, 2, 6];
+        assert_eq!(nth_by_sort(&data, 0), 1);
+        assert_eq!(nth_by_sort(&data, 7), 9);
+        assert_eq!(smallest_k_by_sort(&data, 3), vec![1, 1, 2]);
+        assert_eq!(smallest_k_by_sort(&data, 0), Vec::<u64>::new());
+        assert_eq!(smallest_k_by_sort(&data, 100).len(), 8);
+    }
+}

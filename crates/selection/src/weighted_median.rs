@@ -1,0 +1,102 @@
+//! Weighted median — the pivot rule of the Saukas–Song deterministic
+//! distributed selection baseline \[16\].
+
+use std::fmt;
+
+/// Error for an empty or zero-weight input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedMedianError;
+
+impl fmt::Display for WeightedMedianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "weighted median of an empty or zero-weight collection")
+    }
+}
+
+impl std::error::Error for WeightedMedianError {}
+
+/// The *lower weighted median*: the smallest value `m` such that the total
+/// weight of items `≤ m` is at least half the total weight.
+///
+/// In Saukas–Song each machine contributes its local median weighted by its
+/// live count; partitioning at the weighted median of those medians is
+/// guaranteed to discard at least a quarter of the live items per iteration,
+/// giving the deterministic `O(log(kℓ))` round bound the paper compares
+/// against.
+///
+/// `O(m log m)` in the number of items `m` (which is `k` in the protocol —
+/// negligible against the point counts).
+pub fn weighted_median<T: Ord + Copy>(
+    items: &mut [(T, u64)],
+) -> Result<T, WeightedMedianError> {
+    let total: u64 = items.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return Err(WeightedMedianError);
+    }
+    items.sort_unstable_by_key(|&(v, _)| v);
+    let half = total.div_ceil(2);
+    let mut acc = 0u64;
+    for &(v, w) in items.iter() {
+        acc += w;
+        if acc >= half {
+            return Ok(v);
+        }
+    }
+    unreachable!("cumulative weight reaches total");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unweighted_median() {
+        let mut items: Vec<(u64, u64)> = [1, 2, 3, 4, 5].iter().map(|&v| (v, 1)).collect();
+        assert_eq!(weighted_median(&mut items), Ok(3));
+    }
+
+    #[test]
+    fn heavy_item_dominates() {
+        let mut items = vec![(10u64, 1), (20, 100), (30, 1)];
+        assert_eq!(weighted_median(&mut items), Ok(20));
+    }
+
+    #[test]
+    fn lower_median_on_even_split() {
+        // Weight 1 each: half = 1, first item already reaches it.
+        let mut items = vec![(1u64, 1), (2, 1)];
+        assert_eq!(weighted_median(&mut items), Ok(1));
+    }
+
+    #[test]
+    fn zero_weights_are_skippable() {
+        let mut items = vec![(5u64, 0), (7, 3), (9, 0)];
+        assert_eq!(weighted_median(&mut items), Ok(7));
+    }
+
+    #[test]
+    fn empty_and_all_zero_error() {
+        let mut empty: Vec<(u64, u64)> = vec![];
+        assert_eq!(weighted_median(&mut empty), Err(WeightedMedianError));
+        let mut zeros = vec![(1u64, 0), (2, 0)];
+        assert_eq!(weighted_median(&mut zeros), Err(WeightedMedianError));
+    }
+
+    proptest! {
+        /// Definition check: weight strictly below the median is < half the
+        /// total, and weight at or below it is >= half.
+        #[test]
+        fn prop_weighted_median_definition(
+            items in proptest::collection::vec((0u64..100, 1u64..50), 1..60),
+        ) {
+            let total: u64 = items.iter().map(|&(_, w)| w).sum();
+            let mut work = items.clone();
+            let m = weighted_median(&mut work).unwrap();
+            let below: u64 = items.iter().filter(|&&(v, _)| v < m).map(|&(_, w)| w).sum();
+            let at_or_below: u64 = items.iter().filter(|&&(v, _)| v <= m).map(|&(_, w)| w).sum();
+            prop_assert!(below < total.div_ceil(2) || items.iter().all(|&(v, _)| v >= m));
+            prop_assert!(at_or_below >= total.div_ceil(2));
+        }
+    }
+}

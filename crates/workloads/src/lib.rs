@@ -1,0 +1,29 @@
+//! # knn-workloads — reproducible synthetic workloads
+//!
+//! Data generation for the reproduction's tests, examples, and experiment
+//! harness:
+//!
+//! * [`scalar`] — the paper's exact experimental workload (§3): every
+//!   machine independently draws uniform integers in `[0, 2³² − 1]`
+//!   (2²² of them in the paper's full-scale runs);
+//! * [`vector`] — labeled Gaussian mixtures and uniform cubes in `R^d` for
+//!   the classification / regression examples;
+//! * [`partition`] — how a *global* dataset is laid out across the k
+//!   machines, including the adversarial layouts the model allows
+//!   ("adversarially distributed", §1.1): sorted-contiguous (all small
+//!   values on one machine), power-law skew, everything-on-one-machine;
+//! * [`query`] — query-point streams.
+//!
+//! Everything is a pure function of explicit seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod query;
+pub mod scalar;
+pub mod vector;
+
+pub use partition::PartitionStrategy;
+pub use scalar::ScalarWorkload;
+pub use vector::GaussianMixture;

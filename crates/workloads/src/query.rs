@@ -1,0 +1,47 @@
+//! Query-point streams.
+
+use knn_points::{ScalarPoint, VecPoint};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// `n` uniform scalar queries in `[lo, hi)` — the paper draws each query
+/// uniformly from the data range (§3).
+pub fn scalar_queries(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<ScalarPoint> {
+    assert!(lo < hi, "empty query range");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB);
+    (0..n).map(|_| ScalarPoint(rng.random_range(lo..hi))).collect()
+}
+
+/// `n` uniform vector queries in `[lo, hi)^dims`.
+pub fn vector_queries(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> Vec<VecPoint> {
+    assert!(lo < hi, "empty query range");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBF58_476D_1CE4_E5B9);
+    (0..n)
+        .map(|_| VecPoint::new((0..dims).map(|_| rng.random_range(lo..hi)).collect::<Vec<f64>>()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_queries_in_range_and_deterministic() {
+        let a = scalar_queries(100, 5, 50, 1);
+        let b = scalar_queries(100, 5, 50, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|q| (5..50).contains(&q.0)));
+    }
+
+    #[test]
+    fn vector_queries_shape() {
+        let qs = vector_queries(10, 3, -1.0, 1.0, 2);
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().all(|q| q.dims() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty query range")]
+    fn bad_range_panics() {
+        let _ = scalar_queries(1, 9, 9, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! ℓ-NN classification — the application motivating the paper (§1).
+//!
+//! ```text
+//! cargo run --release --example classification
+//! ```
+//!
+//! Trains nothing (k-NN is non-parametric): a labeled Gaussian-mixture
+//! dataset is distributed over the cluster, and test points are classified
+//! by majority vote over their ℓ nearest neighbors, computed by the
+//! paper's distributed algorithm.
+
+use knn_repro::prelude::*;
+
+fn main() {
+    let mixture = GaussianMixture { dims: 4, clusters: 5, spread: 1.2, range: 12.0 };
+    // Same centers (seed 11) for train and test; independent noise.
+    let train = mixture.generate_with(4000, 11, 1);
+    let test = mixture.generate_with(300, 11, 2);
+
+    let mut ids = IdAssigner::new(3);
+    let data = Dataset::from_labeled(train, &mut ids);
+
+    let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder()
+        .machines(16)
+        .seed(5)
+        .metric(Metric::Euclidean)
+        .build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+
+    let ell = 15;
+    let classifier = KnnClassifier::new(cluster, ell);
+
+    let mut correct = 0;
+    let mut rounds_total = 0u64;
+    let mut messages_total = 0u64;
+    for (point, label) in &test {
+        let answer = classifier.cluster().query(point, ell).expect("query");
+        rounds_total += answer.metrics.rounds;
+        messages_total += answer.metrics.messages;
+        let predicted = knn_repro::core::ml::majority_class(&answer.neighbors);
+        let Label::Class(truth) = label else { unreachable!() };
+        if predicted == Some(*truth) {
+            correct += 1;
+        }
+    }
+    let accuracy = correct as f64 / test.len() as f64;
+    println!(
+        "classified {} test points with ell = {ell} over {} machines",
+        test.len(),
+        classifier.cluster().k()
+    );
+    println!("accuracy: {:.1}%", accuracy * 100.0);
+    println!(
+        "average cost per query: {:.1} rounds, {:.1} messages",
+        rounds_total as f64 / test.len() as f64,
+        messages_total as f64 / test.len() as f64
+    );
+    assert!(
+        accuracy > 0.8,
+        "well-separated Gaussian mixture should classify at >80%, got {accuracy}"
+    );
+}

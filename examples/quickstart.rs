@@ -1,0 +1,76 @@
+//! Quickstart: distributed ℓ-NN over a simulated k-machine cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Loads the paper's synthetic workload (uniform integers on a line) into
+//! an 8-machine cluster, answers one query with the paper's Algorithm 2,
+//! and contrasts the communication cost with the simple baseline.
+
+use knn_repro::prelude::*;
+
+fn main() {
+    // 1. Generate the paper's workload: every machine draws uniform
+    //    integers in [0, 2^32). (Scaled down from the paper's 2^22 per
+    //    machine so the example finishes instantly.)
+    let k = 8;
+    let shards = ScalarWorkload { per_machine: 1 << 14, lo: 0, hi: 1 << 32 }.generate(k, 42);
+
+    // 2. Build the simulated cluster and install the shards as-is — the
+    //    data never needs to be co-located.
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(7)
+        .bandwidth_bits(512) // the model's B = Θ(log n)
+        .build();
+    cluster.load_shards(shards).expect("k shards for k machines");
+    println!("cluster: {} machines, {} points total", cluster.k(), cluster.total_points());
+
+    // 3. One ℓ-NN query with the paper's O(log ℓ)-round algorithm.
+    let query = ScalarPoint(1 << 31);
+    let ell = 256;
+    let fast = cluster.query(&query, ell).expect("query");
+    println!("\nAlgorithm 2 (the paper):");
+    print_answer(&fast, ell);
+
+    // 4. The same query through the Θ(ℓ)-round baseline.
+    let slow = cluster.query_with(Algorithm::Simple, &query, ell).expect("query");
+    println!("\nSimple method (baseline):");
+    print_answer(&slow, ell);
+
+    assert_eq!(
+        fast.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+        slow.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+        "both algorithms must return the identical neighbor set",
+    );
+    println!(
+        "\nsame answer, {:.1}x fewer rounds, {:.1}x fewer messages with Algorithm 2",
+        slow.metrics.rounds as f64 / fast.metrics.rounds as f64,
+        slow.metrics.messages as f64 / fast.metrics.messages as f64,
+    );
+}
+
+fn print_answer(answer: &KnnAnswer, ell: usize) {
+    assert_eq!(answer.neighbors.len(), ell);
+    let nearest = &answer.neighbors[0];
+    println!(
+        "  nearest: id {:#018x} at distance {} (held by machine {})",
+        nearest.id.0,
+        nearest.dist.as_u64(),
+        nearest.machine
+    );
+    println!(
+        "  cost: {} rounds, {} messages, {} bits on the wire",
+        answer.metrics.rounds, answer.metrics.messages, answer.metrics.bits
+    );
+    if let Some(stats) = answer.stats {
+        println!(
+            "  sampling: {} samples/machine, {} of {} candidates survived pruning{}",
+            stats.sample_size,
+            stats.survivors,
+            stats.total_candidates,
+            if stats.rolled_back { " (rolled back)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! ℓ-NN regression — the paper's second motivating application: "assign
+//! the average of the labels" of the ℓ nearest neighbors (§1).
+//!
+//! ```text
+//! cargo run --release --example regression
+//! ```
+
+use knn_repro::prelude::*;
+
+fn main() {
+    // Target function: sum of coordinates, plus noise on the training set.
+    let gen = GaussianMixture { dims: 3, clusters: 1, spread: 1.0, range: 10.0 };
+    let train = gen.generate_regression(6000, 0.5, 21);
+    let test = gen.generate_regression(200, 0.0, 22); // noise-free truth
+
+    let mut ids = IdAssigner::new(4);
+    let data = Dataset::from_labeled(train, &mut ids);
+
+    let mut cluster: KnnCluster<VecPoint> =
+        KnnCluster::builder().machines(12).seed(6).metric(Metric::Euclidean).build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+
+    for (name, weighted) in [("plain mean", false), ("rank-weighted mean", true)] {
+        let mut sq_err = 0.0;
+        let mut var_acc = 0.0;
+        let mean_truth: f64 = test
+            .iter()
+            .map(|(_, l)| match l {
+                Label::Value(v) => *v,
+                _ => unreachable!(),
+            })
+            .sum::<f64>()
+            / test.len() as f64;
+
+        for (point, label) in &test {
+            let answer = cluster.query(point, 10).expect("query");
+            let predicted = if weighted {
+                knn_repro::core::ml::weighted_mean_value(&answer.neighbors)
+            } else {
+                knn_repro::core::ml::mean_value(&answer.neighbors)
+            }
+            .expect("labeled neighbors");
+            let Label::Value(truth) = label else { unreachable!() };
+            sq_err += (predicted - truth) * (predicted - truth);
+            var_acc += (truth - mean_truth) * (truth - mean_truth);
+        }
+        let rmse = (sq_err / test.len() as f64).sqrt();
+        let r2 = 1.0 - sq_err / var_acc;
+        println!("{name:>18}: RMSE = {rmse:.3}, R^2 = {r2:.4}");
+        assert!(r2 > 0.9, "{name} should explain >90% of variance, got {r2}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Adversarial data layouts: the model allows points to be distributed
+//! adversarially (§1.1); correctness must not depend on balance or order.
+
+use knn_repro::prelude::*;
+use knn_repro::points::brute_force_knn;
+use knn_repro::workloads::partition::ALL_STRATEGIES;
+
+fn sorted_dataset(n: u64) -> Dataset<ScalarPoint> {
+    let mut ids = IdAssigner::new(2);
+    Dataset::from_points((0..n).map(ScalarPoint).collect(), &mut ids)
+}
+
+#[test]
+fn sorted_contiguous_layout_every_algorithm() {
+    // All the smallest values (the likely answer) sit on machine 0.
+    let data = sorted_dataset(2000);
+    let all = data.records.clone();
+    let q = ScalarPoint(0);
+    let want: Vec<PointId> =
+        brute_force_knn(&all, &q, 25, Metric::Euclidean).into_iter().map(|(k, _)| k.id).collect();
+
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(8).seed(1).build();
+    cluster.load(data, PartitionStrategy::Contiguous);
+    for algo in Algorithm::ALL {
+        let got: Vec<PointId> =
+            cluster.query_with(algo, &q, 25).unwrap().neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, want, "{algo:?}");
+    }
+}
+
+#[test]
+fn one_machine_hoards_everything() {
+    let data = sorted_dataset(500);
+    let all = data.records.clone();
+    let q = ScalarPoint(250);
+    let want: Vec<PointId> =
+        brute_force_knn(&all, &q, 11, Metric::Euclidean).into_iter().map(|(k, _)| k.id).collect();
+
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(6).seed(3).build();
+    cluster.load(data, PartitionStrategy::OneMachine);
+    for algo in Algorithm::ALL {
+        let got: Vec<PointId> =
+            cluster.query_with(algo, &q, 11).unwrap().neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, want, "{algo:?}");
+    }
+}
+
+#[test]
+fn every_strategy_same_answer() {
+    let data = sorted_dataset(1200);
+    let q = ScalarPoint(999_999); // beyond the data: answer is the top end
+    let mut reference: Option<Vec<PointId>> = None;
+    for strat in ALL_STRATEGIES {
+        let mut cluster: KnnCluster = KnnCluster::builder().machines(5).seed(4).build();
+        cluster.load(data.clone(), strat);
+        let got: Vec<PointId> =
+            cluster.query(&q, 30).unwrap().neighbors.iter().map(|n| n.id).collect();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{strat:?}"),
+        }
+    }
+}
+
+#[test]
+fn more_machines_than_points() {
+    let data = sorted_dataset(5);
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(12).seed(5).build();
+    cluster.load(data, PartitionStrategy::RoundRobin);
+    for algo in Algorithm::ALL {
+        let ans = cluster.query_with(algo, &ScalarPoint(3), 4).unwrap();
+        assert_eq!(ans.neighbors.len(), 4, "{algo:?}");
+    }
+}
+
+#[test]
+fn clustered_values_near_query() {
+    // Heavy duplication right at the query point plus far outliers.
+    let mut points = vec![ScalarPoint(1000); 300];
+    points.extend((0..300).map(|i| ScalarPoint(2_000_000 + i)));
+    let mut ids = IdAssigner::new(9);
+    let data = Dataset::from_points(points, &mut ids);
+    let all = data.records.clone();
+    let q = ScalarPoint(1000);
+    let want: Vec<PointId> =
+        brute_force_knn(&all, &q, 310, Metric::Euclidean).into_iter().map(|(k, _)| k.id).collect();
+
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(7).seed(6).build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+    for algo in Algorithm::ALL {
+        let got: Vec<PointId> =
+            cluster.query_with(algo, &q, 310).unwrap().neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, want, "{algo:?}");
+    }
+}
+
+#[test]
+fn extreme_values_do_not_overflow() {
+    let mut ids = IdAssigner::new(10);
+    let data = Dataset::from_points(
+        vec![ScalarPoint(0), ScalarPoint(u64::MAX), ScalarPoint(u64::MAX / 2), ScalarPoint(1)],
+        &mut ids,
+    );
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(2).seed(7).build();
+    cluster.load(data, PartitionStrategy::RoundRobin);
+    for algo in Algorithm::ALL {
+        // |0 - u64::MAX| must not wrap.
+        let ans = cluster.query_with(algo, &ScalarPoint(u64::MAX), 2).unwrap();
+        assert_eq!(ans.neighbors[0].dist.as_u64(), 0, "{algo:?}");
+        assert_eq!(ans.neighbors[1].dist.as_u64(), 1 << 63, "{algo:?}");
+    }
+}

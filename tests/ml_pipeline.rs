@@ -1,0 +1,96 @@
+//! The ML layer end to end: distributed k-NN classification and
+//! regression over a simulated cluster.
+
+use knn_repro::core::ml::{KnnClassifier, KnnRegressor};
+use knn_repro::prelude::*;
+
+#[test]
+fn classifier_recovers_well_separated_clusters() {
+    let mixture = GaussianMixture { dims: 3, clusters: 3, spread: 0.5, range: 15.0 };
+    let train = mixture.generate_with(900, 1, 100);
+    let test = mixture.generate_with(60, 1, 200);
+
+    let mut ids = IdAssigner::new(1);
+    let data = Dataset::from_labeled(train, &mut ids);
+    let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder().machines(6).seed(2).build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+
+    let classifier = KnnClassifier::new(cluster, 9);
+    let mut correct = 0;
+    for (p, label) in &test {
+        let Label::Class(truth) = label else { unreachable!() };
+        if classifier.predict(p).unwrap() == Some(*truth) {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 55, "accuracy too low: {correct}/60");
+}
+
+#[test]
+fn regressor_tracks_smooth_target() {
+    let gen = GaussianMixture { dims: 2, clusters: 1, spread: 1.0, range: 8.0 };
+    let train = gen.generate_regression(2000, 0.2, 5);
+    let test = gen.generate_regression(50, 0.0, 6);
+
+    let mut ids = IdAssigner::new(2);
+    let data = Dataset::from_labeled(train, &mut ids);
+    let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder().machines(5).seed(3).build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+
+    for weighted in [false, true] {
+        let regressor = if weighted {
+            KnnRegressor::new(rebuild(&test), 8).weighted()
+        } else {
+            KnnRegressor::new(rebuild(&test), 8)
+        };
+        // rebuild() gives a fresh identical cluster since KnnRegressor
+        // takes ownership; see helper below.
+        let mut sq = 0.0;
+        for (p, label) in &test {
+            let Label::Value(truth) = label else { unreachable!() };
+            let pred = regressor.predict(p).unwrap().expect("labeled data");
+            sq += (pred - truth) * (pred - truth);
+        }
+        let rmse = (sq / test.len() as f64).sqrt();
+        assert!(rmse < 1.5, "weighted={weighted}: RMSE {rmse}");
+    }
+
+    fn rebuild(_test: &[(VecPoint, Label)]) -> KnnCluster<VecPoint> {
+        let gen = GaussianMixture { dims: 2, clusters: 1, spread: 1.0, range: 8.0 };
+        let train = gen.generate_regression(2000, 0.2, 5);
+        let mut ids = IdAssigner::new(2);
+        let data = Dataset::from_labeled(train, &mut ids);
+        let mut cluster: KnnCluster<VecPoint> =
+            KnnCluster::builder().machines(5).seed(3).build();
+        cluster.load(data, PartitionStrategy::Shuffled);
+        cluster
+    }
+}
+
+#[test]
+fn unlabeled_data_predicts_none() {
+    let mut ids = IdAssigner::new(3);
+    let data = Dataset::from_points((0..100).map(ScalarPoint).collect(), &mut ids);
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(3).seed(1).build();
+    cluster.load(data, PartitionStrategy::RoundRobin);
+    let classifier = KnnClassifier::new(cluster, 5);
+    assert_eq!(classifier.predict(&ScalarPoint(50)).unwrap(), None);
+}
+
+#[test]
+fn labels_survive_distribution_across_machines() {
+    // Label resolution crosses the shard index: every neighbor must carry
+    // the label it was loaded with.
+    let mixture = GaussianMixture { dims: 2, clusters: 4, spread: 0.3, range: 20.0 };
+    let train = mixture.generate(400, 9);
+    let mut ids = IdAssigner::new(4);
+    let data = Dataset::from_labeled(train.clone(), &mut ids);
+    let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder().machines(8).seed(5).build();
+    cluster.load(data, PartitionStrategy::Shuffled);
+
+    let ans = cluster.query(&train[0].0, 10).unwrap();
+    assert!(ans.neighbors.iter().all(|n| n.label.is_some()));
+    // The nearest neighbor of a training point is itself (distance 0).
+    assert_eq!(ans.neighbors[0].dist, Dist::ZERO);
+    assert_eq!(ans.neighbors[0].label, Some(train[0].1));
+}
