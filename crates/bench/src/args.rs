@@ -14,11 +14,11 @@ impl Args {
     /// Parse `std::env::args()`, treating `--key value` as a flag and a
     /// bare `--key` (followed by another flag or nothing) as a switch.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_tokens(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_tokens(iter: impl IntoIterator<Item = String>) -> Self {
         let tokens: Vec<String> = iter.into_iter().collect();
         let mut args = Args::default();
         let mut i = 0;
@@ -86,7 +86,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_tokens(s.split_whitespace().map(String::from))
     }
 
     #[test]

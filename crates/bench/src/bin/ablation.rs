@@ -25,7 +25,7 @@ use knn_bench::{write_csv, write_json};
 use knn_core::protocols::knn::{KnnParams, KnnProtocol};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Row {
     sample_factor: u32,
     rank_factor: u32,
@@ -47,23 +47,17 @@ fn main() {
     );
     println!("paper's values: sample_factor = 12, rank_factor = 21\n");
 
-    let mut table = Table::new(&[
-        "sample",
-        "rank",
-        "rollback rate",
-        "survivors/ell",
-        "rounds",
-        "messages",
-    ]);
+    let mut table =
+        Table::new(&["sample", "rank", "rollback rate", "survivors/ell", "rounds", "messages"]);
     let mut rows = Vec::new();
 
     for &sample_factor in &[2u32, 6, 12, 24] {
         for &rank_factor in &[0u32, 1, 2] {
             // rank = ratio * sample, approximately: test ratios 1.0, 1.75, 3.0
             let rank_factor = match rank_factor {
-                0 => sample_factor,                  // ratio 1.0 — tight
-                1 => (sample_factor * 7) / 4,        // ratio 1.75 — the paper's
-                _ => sample_factor * 3,              // ratio 3.0 — loose
+                0 => sample_factor,           // ratio 1.0 — tight
+                1 => (sample_factor * 7) / 4, // ratio 1.75 — the paper's
+                _ => sample_factor * 3,       // ratio 3.0 — loose
             };
             let params = KnnParams { sample_factor, rank_factor, harden: true };
             let mut rollbacks = 0u64;
@@ -129,7 +123,14 @@ fn main() {
         .collect();
     let csv = write_csv(
         "ablation",
-        &["sample_factor", "rank_factor", "rollback_rate", "survivors_over_ell", "rounds", "messages"],
+        &[
+            "sample_factor",
+            "rank_factor",
+            "rollback_rate",
+            "survivors_over_ell",
+            "rounds",
+            "messages",
+        ],
         &csv_rows,
     );
     let json = write_json("ablation", &rows);

@@ -24,7 +24,7 @@ use knn_points::{IdAssigner, Record, ScalarPoint, VecPoint};
 use knn_workloads::ScalarWorkload;
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Row {
     algorithm: String,
     k: usize,
@@ -99,8 +99,7 @@ fn main() {
                 label: None,
             })
             .collect();
-        let shards: Vec<Vec<Record<VecPoint>>> =
-            records.chunks(n).map(|c| c.to_vec()).collect();
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(n).map(|c| c.to_vec()).collect();
         let cfg = NetConfig::new(k).with_seed(1);
         let protos: Vec<KdBuildProtocol> = shards
             .into_iter()

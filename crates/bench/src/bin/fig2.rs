@@ -22,6 +22,7 @@
 
 use std::time::Duration;
 
+use kmachine::Engine;
 use knn_bench::args::Args;
 use knn_bench::stats::Summary;
 use knn_bench::table::Table;
@@ -29,9 +30,8 @@ use knn_bench::{write_csv, write_json};
 use knn_core::runner::{run_query, Algorithm, QueryOptions};
 use knn_points::ScalarPoint;
 use knn_workloads::{query::scalar_queries, ScalarWorkload};
-use kmachine::Engine;
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Cell {
     k: usize,
     ell: usize,
@@ -47,8 +47,10 @@ fn main() {
     let args = Args::parse();
     let full = args.has("full");
     let ks = args.get_list("ks", if full { &[2, 4, 8, 16, 32, 64] } else { &[2, 4, 8, 16] });
-    let ells =
-        args.get_list("ells", if full { &[16, 64, 256, 1024, 4096, 16384] } else { &[16, 64, 256, 1024, 4096] });
+    let ells = args.get_list(
+        "ells",
+        if full { &[16, 64, 256, 1024, 4096, 16384] } else { &[16, 64, 256, 1024, 4096] },
+    );
     let per_machine = args.get_usize("per-machine", if full { 1 << 18 } else { 1 << 16 });
     let reps = args.get_usize("reps", if full { 10 } else { 3 });
     let latency = Duration::from_micros(args.get_u64("latency-us", 50));
@@ -62,7 +64,13 @@ fn main() {
     println!();
 
     let mut table = Table::new(&[
-        "k", "ell", "simple ms", "alg2 ms", "wall ratio", "simple rounds", "alg2 rounds",
+        "k",
+        "ell",
+        "simple ms",
+        "alg2 ms",
+        "wall ratio",
+        "simple rounds",
+        "alg2 rounds",
         "round ratio",
     ]);
     let mut cells = Vec::new();
@@ -81,8 +89,8 @@ fn main() {
                         round_latency: latency,
                         ..Default::default()
                     };
-                    let out = run_query(&shards, &ScalarPoint(q.0), ell, algo, &opts)
-                        .expect("fig2 run");
+                    let out =
+                        run_query(&shards, &ScalarPoint(q.0), ell, algo, &opts).expect("fig2 run");
                     wall[slot].push(out.wall.as_secs_f64() * 1e3);
                     rounds[slot].push(out.metrics.rounds as f64);
                 }
@@ -119,8 +127,14 @@ fn main() {
     let csv = write_csv(
         "fig2",
         &[
-            "k", "ell", "wall_simple_ms", "wall_knn_ms", "wall_ratio", "rounds_simple",
-            "rounds_knn", "round_ratio",
+            "k",
+            "ell",
+            "wall_simple_ms",
+            "wall_knn_ms",
+            "wall_ratio",
+            "rounds_simple",
+            "rounds_knn",
+            "round_ratio",
         ],
         &cells
             .iter()

@@ -19,7 +19,7 @@ use knn_bench::{write_csv, write_json};
 use knn_core::protocols::knn::{KnnParams, KnnProtocol};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Row {
     k: usize,
     ell: usize,

@@ -24,7 +24,7 @@ fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
     (0..n).map(|_| rng.random()).collect()
 }
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Row {
     k: usize,
     ell: usize,
@@ -65,7 +65,14 @@ fn main() {
                 let cfg = NetConfig::new(k).with_seed(s);
                 let protos: Vec<KnnProtocol<'_, u64>> = (0..k)
                     .map(|i| {
-                        KnnProtocol::from_keys(i, k, 0, ell as u64, KnnParams::default(), mk_keys(i))
+                        KnnProtocol::from_keys(
+                            i,
+                            k,
+                            0,
+                            ell as u64,
+                            KnnParams::default(),
+                            mk_keys(i),
+                        )
                     })
                     .collect();
                 let out = run_sync(&cfg, protos).expect("knn");

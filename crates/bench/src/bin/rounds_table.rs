@@ -27,7 +27,7 @@ fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
     (0..n).map(|_| rng.random()).collect()
 }
 
-#[derive(serde::Serialize)]
+#[derive(Debug, serde::Serialize)]
 struct Row {
     section: &'static str,
     k: usize,
@@ -102,7 +102,9 @@ fn main() {
     t1.print();
 
     // ---- Section 2: Algorithm 2, rounds vs ell (Theorem 2.4) ----
-    println!("\n== Theorem 2.4: Algorithm 2 rounds vs ell  (2^16 keys/machine, {seeds} seeds) ==\n");
+    println!(
+        "\n== Theorem 2.4: Algorithm 2 rounds vs ell  (2^16 keys/machine, {seeds} seeds) ==\n"
+    );
     let ells: Vec<usize> = (2..=14).step_by(2).map(|e| 1usize << e).collect();
     let per_machine = 1usize << 16;
     let mut t2 = Table::new(&["k", "ell", "log2 ell", "rounds", "messages", "msgs/(k log2 ell)"]);

@@ -55,8 +55,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64, f64) {
     let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let ss_res: f64 =
-        x.iter().zip(y).map(|(a, b)| (b - (slope * a + intercept)).powi(2)).sum();
+    let ss_res: f64 = x.iter().zip(y).map(|(a, b)| (b - (slope * a + intercept)).powi(2)).sum();
     let ss_tot: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
     let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     (slope, intercept, r2)

@@ -237,7 +237,12 @@ impl<P: Point> KnnCluster<P> {
     }
 
     /// Answer an ℓ-NN query with a specific algorithm.
-    pub fn query_with(&self, algorithm: Algorithm, q: &P, ell: usize) -> Result<KnnAnswer, CoreError> {
+    pub fn query_with(
+        &self,
+        algorithm: Algorithm,
+        q: &P,
+        ell: usize,
+    ) -> Result<KnnAnswer, CoreError> {
         if self.shards.is_empty() {
             return Err(CoreError::NotLoaded);
         }
@@ -313,8 +318,13 @@ mod tests {
     fn algorithms_agree_through_the_facade() {
         let cluster = loaded_cluster(5, 200);
         let q = ScalarPoint(777);
-        let reference: Vec<PointId> =
-            cluster.query_with(Algorithm::Simple, &q, 7).unwrap().neighbors.iter().map(|n| n.id).collect();
+        let reference: Vec<PointId> = cluster
+            .query_with(Algorithm::Simple, &q, 7)
+            .unwrap()
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .collect();
         for algo in Algorithm::ALL {
             let got: Vec<PointId> =
                 cluster.query_with(algo, &q, 7).unwrap().neighbors.iter().map(|n| n.id).collect();

@@ -11,10 +11,7 @@ use knn_points::{DistKey, Metric, Point, Record};
 /// ℓ-NN to selection (§1.2 — "compute the distance of the query point to
 /// all the points, then find the ℓ-smallest distance values").
 pub fn dist_keys<P: Point>(records: &[Record<P>], query: &P, metric: Metric) -> Vec<DistKey> {
-    records
-        .iter()
-        .map(|r| DistKey::new(r.point.distance(query, metric), r.id))
-        .collect()
+    records.iter().map(|r| DistKey::new(r.point.distance(query, metric), r.id)).collect()
 }
 
 #[cfg(test)]

@@ -145,7 +145,11 @@ impl<'a, K: Key> ApproxKnnProtocol<'a, K> {
     }
 
     fn output(&self, total: u64, contains: bool) -> ApproxOutput<K> {
-        ApproxOutput { keys: self.candidates[..self.kept].to_vec(), total, contains_exact: contains }
+        ApproxOutput {
+            keys: self.candidates[..self.kept].to_vec(),
+            total,
+            contains_exact: contains,
+        }
     }
 }
 
@@ -156,8 +160,7 @@ impl<'a, K: Key> Protocol for ApproxKnnProtocol<'a, K> {
     fn on_round(&mut self, ctx: &mut Ctx<'_, ApproxMsg<K>>) -> Step<ApproxOutput<K>> {
         if matches!(self.phase, APhase::Init) {
             let keys = (self.input.take().expect("init once"))();
-            self.candidates =
-                knn_selection::smallest_k_sorted(&keys, self.ell as usize, ctx.rng());
+            self.candidates = knn_selection::smallest_k_sorted(&keys, self.ell as usize, ctx.rng());
             if ctx.k() == 1 {
                 self.kept = self.candidates.len();
                 let total = self.kept as u64;

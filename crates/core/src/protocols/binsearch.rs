@@ -206,9 +206,7 @@ impl<'a, K: NumericKey> Protocol for BinSearchProtocol<'a, K> {
                     BsMsg::Count { threshold } => {
                         ctx.send(self.leader, BsMsg::Size(self.count_leq(threshold)));
                     }
-                    BsMsg::Finished { threshold } => {
-                        return Step::Done(self.output_for(threshold))
-                    }
+                    BsMsg::Finished { threshold } => return Step::Done(self.output_for(threshold)),
                     other => panic!("worker received a leader-only message {other:?}"),
                 }
             }
@@ -368,7 +366,7 @@ mod tests {
             seed in 0u64..200,
         ) {
             let values: Vec<u64> = values.into_iter().collect();
-            let want = expected(&[values.clone()], ell as usize);
+            let want = expected(std::slice::from_ref(&values), ell as usize);
             let shards = ALL_STRATEGIES[strat_idx].split(values, k, seed);
             let (got, _) = run_bs(shards, ell, seed);
             prop_assert_eq!(got, want);

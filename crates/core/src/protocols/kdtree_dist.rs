@@ -285,11 +285,8 @@ impl DistributedKdForest {
         // Expand to bins whose slab intersects the current candidate ball;
         // if the owner had fewer than ℓ points the radius is unknown, so
         // probe everyone (the honest degenerate case).
-        let radius = if candidates.len() == ell {
-            candidates.last().map(|&(d, _)| d)
-        } else {
-            None
-        };
+        let radius =
+            if candidates.len() == ell { candidates.last().map(|&(d, _)| d) } else { None };
         for (i, shard) in self.shards.iter().enumerate() {
             if probes[i] || shard.is_empty() {
                 continue;
@@ -374,8 +371,7 @@ mod tests {
     #[test]
     fn build_conserves_points() {
         let records = random_records(300, 2, 1);
-        let shards: Vec<Vec<Record<VecPoint>>> =
-            records.chunks(75).map(|c| c.to_vec()).collect();
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(75).map(|c| c.to_vec()).collect();
         let (forest, metrics) = build_forest(shards, 1);
         assert_eq!(forest.shards.iter().map(KdTree::len).sum::<usize>(), 300);
         // Redistribution must have moved real point payloads.
@@ -385,8 +381,7 @@ mod tests {
     #[test]
     fn query_matches_brute_force() {
         let records = random_records(400, 3, 2);
-        let shards: Vec<Vec<Record<VecPoint>>> =
-            records.chunks(100).map(|c| c.to_vec()).collect();
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(100).map(|c| c.to_vec()).collect();
         let (forest, _) = build_forest(shards, 2);
         let mut rng = StdRng::seed_from_u64(9);
         for t in 0..20 {
@@ -405,8 +400,7 @@ mod tests {
     #[test]
     fn queries_usually_touch_few_bins() {
         let records = random_records(2000, 2, 3);
-        let shards: Vec<Vec<Record<VecPoint>>> =
-            records.chunks(250).map(|c| c.to_vec()).collect();
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(250).map(|c| c.to_vec()).collect();
         let (forest, _) = build_forest(shards, 3);
         let mut rng = StdRng::seed_from_u64(5);
         let mut total_probes = 0usize;
@@ -426,10 +420,8 @@ mod tests {
         // parameter — the paper's criticism in one assertion.
         let small = random_records(100, 2, 4);
         let large = random_records(1000, 2, 5);
-        let (_, m_small) =
-            build_forest(small.chunks(25).map(|c| c.to_vec()).collect(), 4);
-        let (_, m_large) =
-            build_forest(large.chunks(250).map(|c| c.to_vec()).collect(), 5);
+        let (_, m_small) = build_forest(small.chunks(25).map(|c| c.to_vec()).collect(), 4);
+        let (_, m_large) = build_forest(large.chunks(250).map(|c| c.to_vec()).collect(), 5);
         assert!(m_large.bits > 5 * m_small.bits, "{} vs {}", m_large.bits, m_small.bits);
     }
 
@@ -441,8 +433,7 @@ mod tests {
         let records = random_records(50, 2, 7);
         let k1 = vec![records.clone()];
         let cfg = NetConfig::new(1).with_seed(0);
-        let out =
-            run_sync(&cfg, vec![KdBuildProtocol::new(0, 1, 0, 8, 4, records)]).unwrap();
+        let out = run_sync(&cfg, vec![KdBuildProtocol::new(0, 1, 0, 8, 4, records)]).unwrap();
         assert_eq!(out.outputs[0].tree.len(), 50);
         assert_eq!(out.metrics.messages, 0);
         drop(k1);

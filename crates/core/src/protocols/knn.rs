@@ -449,7 +449,7 @@ mod tests {
     #[test]
     fn large_uniform_instance_exact() {
         let all: Vec<u64> = (0..5000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
-        let want = expected(&[all.clone()], 64);
+        let want = expected(std::slice::from_ref(&all), 64);
         for (i, strat) in ALL_STRATEGIES.into_iter().enumerate() {
             let shards = strat.split(all.clone(), 10, i as u64);
             let (got, _, _) = run_knn(shards, 64, 100 + i as u64, KnnParams::default());
@@ -493,7 +493,7 @@ mod tests {
         // without the rollback; with hardening the answer stays exact.
         let params = KnnParams { sample_factor: 1, rank_factor: 1, harden: true };
         let all: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
-        let want = expected(&[all.clone()], 100);
+        let want = expected(std::slice::from_ref(&all), 100);
         let mut rollbacks = 0;
         for seed in 0..10 {
             let shards = PartitionStrategy::Shuffled.split(all.clone(), 8, seed);
@@ -555,10 +555,7 @@ mod tests {
             .collect();
         let a4 = r4.iter().sum::<u64>() as f64 / 4.0;
         let a64 = r64.iter().sum::<u64>() as f64 / 4.0;
-        assert!(
-            a64 < a4 * 2.5,
-            "rounds grew with k: avg(k=4) = {a4}, avg(k=64) = {a64}"
-        );
+        assert!(a64 < a4 * 2.5, "rounds grew with k: avg(k=4) = {a4}, avg(k=64) = {a64}");
     }
 
     #[test]
@@ -626,7 +623,7 @@ mod tests {
             seed in 0u64..300,
         ) {
             let values: Vec<u64> = values.into_iter().collect();
-            let want = expected(&[values.clone()], ell as usize);
+            let want = expected(std::slice::from_ref(&values), ell as usize);
             let shards = ALL_STRATEGIES[strat_idx].split(values, k, seed);
             let (got, _, _) = run_knn(shards, ell, seed, KnnParams::default());
             prop_assert_eq!(got, want);

@@ -374,7 +374,7 @@ mod tests {
     #[test]
     fn all_partition_strategies() {
         let all: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(48271) % 50_000).collect();
-        let want = expected(&[all.clone()], 37);
+        let want = expected(std::slice::from_ref(&all), 37);
         for strat in ALL_STRATEGIES {
             let shards = strat.split(all.clone(), 7, 5);
             let (got, _) = run_ss(shards, 37, 7);
@@ -393,7 +393,7 @@ mod tests {
             seed in 0u64..200,
         ) {
             let values: Vec<u64> = values.into_iter().collect();
-            let want = expected(&[values.clone()], ell as usize);
+            let want = expected(std::slice::from_ref(&values), ell as usize);
             let shards = ALL_STRATEGIES[strat_idx].split(values, k, seed);
             let (got, _) = run_ss(shards, ell, seed);
             prop_assert_eq!(got, want);

@@ -105,6 +105,9 @@ struct LeaderState<K: Key> {
 }
 
 #[derive(Debug, Clone, Copy)]
+// The shared Await- prefix mirrors the protocol's "awaiting X" round
+// structure; renaming would lose that correspondence.
+#[allow(clippy::enum_variant_names)]
 enum Phase<K: Key> {
     AwaitReports,
     AwaitPivot,
@@ -291,7 +294,11 @@ impl<K: Key> SelectCore<K> {
     }
 
     /// Run the decision loop: either finish, or launch the next pivot probe.
-    fn advance(&mut self, rng: &mut StdRng, out: &mut Vec<(MachineId, SelMsg<K>)>) -> CoreStatus<K> {
+    fn advance(
+        &mut self,
+        rng: &mut StdRng,
+        out: &mut Vec<(MachineId, SelMsg<K>)>,
+    ) -> CoreStatus<K> {
         let st = self.lstate.as_mut().expect("leader");
         if st.ell_rem == 0 {
             // Everything at or below `lo` is the answer (possibly nothing).
@@ -356,7 +363,11 @@ impl<K: Key> SelectCore<K> {
     }
 
     /// For k = 1 clusters: make progress without any messages.
-    pub fn poke(&mut self, rng: &mut StdRng, out: &mut Vec<(MachineId, SelMsg<K>)>) -> CoreStatus<K> {
+    pub fn poke(
+        &mut self,
+        rng: &mut StdRng,
+        out: &mut Vec<(MachineId, SelMsg<K>)>,
+    ) -> CoreStatus<K> {
         let st = self.lstate.as_mut().expect("poke is leader-only");
         if matches!(st.phase, Phase::AwaitSizes { .. }) && st.pending == 0 {
             return self.after_sizes(rng, out);
@@ -364,7 +375,11 @@ impl<K: Key> SelectCore<K> {
         CoreStatus::Running
     }
 
-    fn after_sizes(&mut self, rng: &mut StdRng, out: &mut Vec<(MachineId, SelMsg<K>)>) -> CoreStatus<K> {
+    fn after_sizes(
+        &mut self,
+        rng: &mut StdRng,
+        out: &mut Vec<(MachineId, SelMsg<K>)>,
+    ) -> CoreStatus<K> {
         let st = self.lstate.as_mut().expect("leader");
         let Phase::AwaitSizes { pivot } = st.phase else {
             panic!("after_sizes outside AwaitSizes");
@@ -391,7 +406,11 @@ impl<K: Key> SelectCore<K> {
         self.advance(rng, out)
     }
 
-    fn finish(&mut self, boundary: Option<K>, out: &mut Vec<(MachineId, SelMsg<K>)>) -> CoreStatus<K> {
+    fn finish(
+        &mut self,
+        boundary: Option<K>,
+        out: &mut Vec<(MachineId, SelMsg<K>)>,
+    ) -> CoreStatus<K> {
         for dst in 0..self.k {
             if dst != self.id {
                 out.push((dst, SelMsg::Finished { boundary }));

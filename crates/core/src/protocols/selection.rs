@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn every_partition_strategy_gives_same_answer() {
         let all: Vec<u64> = (0..300u64).map(|i| i * 7919 % 100_000).collect();
-        let expected = expected_smallest(&[all.clone()], 25);
+        let expected = expected_smallest(std::slice::from_ref(&all), 25);
         for strat in ALL_STRATEGIES {
             let shards = strat.split(all.clone(), 6, 42);
             let (got, _) = run_selection(shards, 25, 9);
@@ -268,7 +268,7 @@ mod tests {
         ) {
             let values: Vec<u64> = values.into_iter().collect();
             let ell = (values.len() as f64 * ell_frac) as u64;
-            let expected = expected_smallest(&[values.clone()], ell as usize);
+            let expected = expected_smallest(std::slice::from_ref(&values), ell as usize);
             let shards = ALL_STRATEGIES[strat_idx].split(values, k, seed);
             let (got, _) = run_selection(shards, ell, seed);
             prop_assert_eq!(got, expected);

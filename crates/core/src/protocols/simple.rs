@@ -81,7 +81,13 @@ impl<'a, K: Key> SimpleProtocol<'a, K> {
     }
 
     /// Materialized-keys constructor for tests.
-    pub fn from_keys(id: MachineId, leader: MachineId, ell: u64, chunk: usize, keys: Vec<K>) -> Self {
+    pub fn from_keys(
+        id: MachineId,
+        leader: MachineId,
+        ell: u64,
+        chunk: usize,
+        keys: Vec<K>,
+    ) -> Self {
         Self::new(id, leader, ell, chunk, Box::new(move || keys))
     }
 
@@ -206,7 +212,7 @@ mod tests {
         for strat in ALL_STRATEGIES {
             let shards = strat.split(all.clone(), 5, 3);
             let (got, _) = run_simple(shards, 20, 3, 4);
-            assert_eq!(got, expected(&[all.clone()], 20), "{strat:?}");
+            assert_eq!(got, expected(std::slice::from_ref(&all), 20), "{strat:?}");
         }
         // Edge cases.
         assert_eq!(run_simple(vec![vec![], vec![]], 5, 0, 4).0, Vec::<u64>::new());
@@ -247,7 +253,8 @@ mod tests {
     fn message_count_is_k_times_ell_over_chunk() {
         let k = 6;
         let ell = 32u64;
-        let shards: Vec<Vec<u64>> = (0..k as u64).map(|i| (0..200).map(|j| i * 1000 + j).collect()).collect();
+        let shards: Vec<Vec<u64>> =
+            (0..k as u64).map(|i| (0..200).map(|j| i * 1000 + j).collect()).collect();
         let (_, m) = run_simple(shards, ell, 2, 1);
         // (k-1) machines send ell keys each + final boundary broadcast.
         assert_eq!(m.messages, (k as u64 - 1) * ell + (k as u64 - 1));
@@ -283,7 +290,7 @@ mod tests {
             seed in 0u64..200,
         ) {
             let values: Vec<u64> = values.into_iter().collect();
-            let want = expected(&[values.clone()], ell as usize);
+            let want = expected(std::slice::from_ref(&values), ell as usize);
             let shards = PartitionStrategy::RoundRobin.split(values, k, seed);
             let (got, _) = run_simple(shards, ell, seed, chunk);
             prop_assert_eq!(got, want);

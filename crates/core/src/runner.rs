@@ -136,10 +136,7 @@ pub struct QueryOutcome {
 }
 
 /// Elect a leader (when requested) and account its cost.
-fn elect(
-    k: usize,
-    opts: &QueryOptions,
-) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
+fn elect(k: usize, opts: &QueryOptions) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
     let cfg = opts.net_config(k);
     match opts.election {
         ElectionKind::Fixed => Ok((0, None)),
@@ -240,9 +237,8 @@ pub fn run_query<P: Point>(
             })
         }
         Algorithm::BinSearch => {
-            let protos: Vec<BinSearchProtocol<'_, DistKey>> = (0..k)
-                .map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i)))
-                .collect();
+            let protos: Vec<BinSearchProtocol<'_, DistKey>> =
+                (0..k).map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
             Ok(QueryOutcome {
                 local_keys: out.outputs,
@@ -334,8 +330,7 @@ mod tests {
 
     fn shards(values: &[u64], k: usize) -> Vec<Dataset<ScalarPoint>> {
         let mut ids = IdAssigner::new(0);
-        let data =
-            Dataset::from_points(values.iter().map(|&v| ScalarPoint(v)).collect(), &mut ids);
+        let data = Dataset::from_points(values.iter().map(|&v| ScalarPoint(v)).collect(), &mut ids);
         PartitionStrategy::RoundRobin
             .split(data.records, k, 0)
             .into_iter()
@@ -389,9 +384,8 @@ mod tests {
     #[test]
     fn empty_cluster_is_an_error() {
         let sh: Vec<Dataset<ScalarPoint>> = Vec::new();
-        let err =
-            run_query(&sh, &ScalarPoint(0), 3, Algorithm::Knn, &QueryOptions::default())
-                .unwrap_err();
+        let err = run_query(&sh, &ScalarPoint(0), 3, Algorithm::Knn, &QueryOptions::default())
+            .unwrap_err();
         assert_eq!(err, CoreError::EmptyCluster);
     }
 

@@ -46,7 +46,10 @@ impl KdTree {
 
         if let Some(bound) = plane_bound(gap, metric) {
             if let Some(worst) = best.threshold() {
-                if bound >= worst.dist {
+                // Strict: at bound == worst.dist the far side can still hold
+                // an equal-distance point with a smaller id, which wins the
+                // (distance, id) tie-break the query contract promises.
+                if bound > worst.dist {
                     return; // Far side cannot improve the current best ℓ.
                 }
             }

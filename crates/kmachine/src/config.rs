@@ -59,9 +59,7 @@ impl NetConfig {
     pub fn new(k: usize) -> Self {
         NetConfig {
             k,
-            bandwidth: BandwidthMode::Enforce {
-                bits_per_round: DEFAULT_BANDWIDTH_BITS,
-            },
+            bandwidth: BandwidthMode::Enforce { bits_per_round: DEFAULT_BANDWIDTH_BITS },
             seed: 0,
             max_rounds: 10_000_000,
             round_latency: Duration::ZERO,

@@ -159,10 +159,10 @@ mod tests {
     fn bandwidth_dictates_round_count() {
         // 64 values of 64 bits over a 128-bit link: 2 values per round,
         // so 32 transport rounds.
-        let cfg = NetConfig::new(2)
-            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
-        let out = run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
-            .unwrap();
+        let cfg = NetConfig::new(2).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let out =
+            run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
+                .unwrap();
         assert_eq!(out.outputs[1], 64);
         assert_eq!(out.metrics.rounds, 32);
         assert_eq!(out.metrics.messages, 64);
@@ -173,8 +173,9 @@ mod tests {
     #[test]
     fn unlimited_bandwidth_is_one_round() {
         let cfg = NetConfig::new(2).with_bandwidth(BandwidthMode::Unlimited);
-        let out = run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
-            .unwrap();
+        let out =
+            run_sync(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
+                .unwrap();
         assert_eq!(out.metrics.rounds, 1);
     }
 
@@ -227,7 +228,8 @@ mod tests {
     #[test]
     fn ping_pong_round_count_exact() {
         let cfg = NetConfig::new(2);
-        let out = run_sync(&cfg, vec![PingPong { remaining: 6 }, PingPong { remaining: 6 }]).unwrap();
+        let out =
+            run_sync(&cfg, vec![PingPong { remaining: 6 }, PingPong { remaining: 6 }]).unwrap();
         // Tokens 5,4,3,2,1,0 are exchanged: 6 messages, each one round apart.
         assert_eq!(out.metrics.messages, 6);
         assert_eq!(out.metrics.rounds, 6);

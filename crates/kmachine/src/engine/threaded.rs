@@ -323,8 +323,7 @@ mod tests {
 
     #[test]
     fn bandwidth_rounds_match_sync() {
-        let cfg = NetConfig::new(2)
-            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let cfg = NetConfig::new(2).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
         let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
         let a = run_sync(&cfg, mk()).unwrap();
         let b = run_threaded(&cfg, mk()).unwrap();

@@ -28,7 +28,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Stalled { round } => {
-                write!(f, "protocol stalled at round {round}: no progress and no messages in flight")
+                write!(
+                    f,
+                    "protocol stalled at round {round}: no progress and no messages in flight"
+                )
             }
             EngineError::MaxRounds { limit } => {
                 write!(f, "exceeded the configured round limit ({limit})")

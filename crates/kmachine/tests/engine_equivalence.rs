@@ -62,9 +62,9 @@ impl Protocol for Scatter {
                 plan.push((dst, tag, bits));
                 counts[dst] += 1;
             }
-            for dst in 0..k {
+            for (dst, &count) in counts.iter().enumerate() {
                 if dst != me {
-                    ctx.send(dst, Msg::Header(counts[dst]));
+                    ctx.send(dst, Msg::Header(count));
                 }
             }
             for (dst, tag, bits) in plan {
@@ -88,9 +88,9 @@ impl Protocol for Scatter {
                 }
             }
         }
-        let all_in = (0..ctx.k()).filter(|&s| s != ctx.id()).all(|s| {
-            self.expected[s].is_some_and(|c| self.got[s] == c)
-        });
+        let all_in = (0..ctx.k())
+            .filter(|&s| s != ctx.id())
+            .all(|s| self.expected[s].is_some_and(|c| self.got[s] == c));
         if all_in {
             Step::Done((self.digest, self.received_data))
         } else {
@@ -106,9 +106,8 @@ fn scatter_run(
     max_msgs: usize,
     threaded: bool,
 ) -> (Vec<(u64, u64)>, u64, u64) {
-    let cfg = NetConfig::new(k)
-        .with_seed(seed)
-        .with_bandwidth(BandwidthMode::Enforce { bits_per_round });
+    let cfg =
+        NetConfig::new(k).with_seed(seed).with_bandwidth(BandwidthMode::Enforce { bits_per_round });
     let protos: Vec<Scatter> = (0..k)
         .map(|_| Scatter {
             max_msgs,

@@ -86,10 +86,8 @@ pub fn brute_force_knn<'a, P: Point>(
     ell: usize,
     metric: Metric,
 ) -> Vec<(DistKey, &'a Record<P>)> {
-    let mut keyed: Vec<(DistKey, &Record<P>)> = records
-        .iter()
-        .map(|r| (DistKey::new(r.point.distance(query, metric), r.id), r))
-        .collect();
+    let mut keyed: Vec<(DistKey, &Record<P>)> =
+        records.iter().map(|r| (DistKey::new(r.point.distance(query, metric), r.id), r)).collect();
     keyed.sort_by_key(|(k, _)| *k);
     keyed.truncate(ell);
     keyed

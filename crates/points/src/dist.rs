@@ -82,12 +82,7 @@ mod tests {
     fn f64_family_orders() {
         let ds = [0.0, 1e-300, 0.5, 1.0, 2.5, 1e300];
         for w in ds.windows(2) {
-            assert!(
-                Dist::from_f64(w[0]) < Dist::from_f64(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(Dist::from_f64(w[0]) < Dist::from_f64(w[1]), "{} vs {}", w[0], w[1]);
         }
         assert_eq!(Dist::from_f64(0.0), Dist::ZERO);
     }

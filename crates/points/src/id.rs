@@ -42,7 +42,7 @@ impl IdAssigner {
     pub fn with_stream(seed: u64, stream: u64) -> Self {
         assert!(stream < (1 << 10), "IdAssigner stream must be < 1024");
         IdAssigner {
-            rng: StdRng::seed_from_u64(seed ^ 0xB10C_1D5_u64 ^ stream.wrapping_mul(0x9E37_79B9)),
+            rng: StdRng::seed_from_u64(seed ^ 0x0B10_C1D5_u64 ^ stream.wrapping_mul(0x9E37_79B9)),
             stream,
             counter: 0,
         }

@@ -35,12 +35,10 @@ impl Metric {
         match *self {
             Metric::Euclidean => Dist::from_f64(sum_sq(a, b).sqrt()),
             Metric::SquaredEuclidean => Dist::from_f64(sum_sq(a, b)),
-            Metric::Manhattan => {
-                Dist::from_f64(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum())
+            Metric::Manhattan => Dist::from_f64(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()),
+            Metric::Chebyshev => {
+                Dist::from_f64(a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max))
             }
-            Metric::Chebyshev => Dist::from_f64(
-                a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max),
-            ),
             Metric::Minkowski(p) => {
                 assert!(p >= 1.0, "Minkowski exponent must be >= 1, got {p}");
                 let s: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(p)).sum();

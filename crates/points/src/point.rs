@@ -73,12 +73,8 @@ impl BitsPoint {
 impl Point for BitsPoint {
     fn distance(&self, other: &Self, _metric: Metric) -> Dist {
         assert_eq!(self.0.len(), other.0.len(), "bit-length mismatch");
-        let d: u64 = self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| (a ^ b).count_ones() as u64)
-            .sum();
+        let d: u64 =
+            self.0.iter().zip(other.0.iter()).map(|(a, b)| (a ^ b).count_ones() as u64).sum();
         Dist::from_u64(d)
     }
 }

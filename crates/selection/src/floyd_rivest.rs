@@ -18,6 +18,10 @@ use rand::RngExt;
 ///
 /// # Panics
 /// If `n >= data.len()`.
+// `rng` is threaded only into the recursive narrowing step; it is kept in
+// the signature for parity with the other selectors so callers can swap
+// algorithms freely.
+#[allow(clippy::only_used_in_recursion)]
 pub fn floyd_rivest_select<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, rng: &mut R) {
     assert!(n < data.len(), "rank {n} out of bounds for length {}", data.len());
     let mut left = 0usize;
@@ -31,10 +35,8 @@ pub fn floyd_rivest_select<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, r
             let s = 0.5 * (2.0 * z / 3.0).exp();
             let sign = if i < len / 2.0 { -1.0 } else { 1.0 };
             let sd = 0.5 * (z * s * (len - s) / len).sqrt() * sign;
-            let new_left =
-                (n as f64 - i * s / len + sd).max(left as f64) as usize;
-            let new_right =
-                (n as f64 + (len - i) * s / len + sd).min(right as f64) as usize;
+            let new_left = (n as f64 - i * s / len + sd).max(left as f64) as usize;
+            let new_right = (n as f64 + (len - i) * s / len + sd).min(right as f64) as usize;
             if new_left <= n && n <= new_right && new_right - new_left < right - left {
                 floyd_rivest_select(&mut data[new_left..=new_right], n - new_left, rng);
             }

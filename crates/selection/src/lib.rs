@@ -55,11 +55,7 @@ pub fn select_nth<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usize, rng: &mut 
 
 /// The ℓ smallest values of `data`, ascending. Convenience wrapper choosing
 /// between the heap (`ℓ ≪ n`) and select-then-sort strategies.
-pub fn smallest_k_sorted<T: Ord + Copy, R: RngExt>(
-    data: &[T],
-    k: usize,
-    rng: &mut R,
-) -> Vec<T> {
+pub fn smallest_k_sorted<T: Ord + Copy, R: RngExt>(data: &[T], k: usize, rng: &mut R) -> Vec<T> {
     if k == 0 || data.is_empty() {
         return Vec::new();
     }

@@ -62,7 +62,12 @@ pub fn select_with_depth_limit<T: Ord + Copy, R: RngExt>(data: &mut [T], n: usiz
 }
 
 /// [`partition3`] on `data[lo..hi]`, returning absolute boundaries.
-fn partition3_offset<T: Ord + Copy>(data: &mut [T], lo: usize, hi: usize, pivot: T) -> (usize, usize) {
+fn partition3_offset<T: Ord + Copy>(
+    data: &mut [T],
+    lo: usize,
+    hi: usize,
+    pivot: T,
+) -> (usize, usize) {
     let (lt, gt) = partition3(&mut data[lo..hi], pivot);
     (lo + lt, lo + gt)
 }

@@ -26,9 +26,7 @@ impl std::error::Error for WeightedMedianError {}
 ///
 /// `O(m log m)` in the number of items `m` (which is `k` in the protocol —
 /// negligible against the point counts).
-pub fn weighted_median<T: Ord + Copy>(
-    items: &mut [(T, u64)],
-) -> Result<T, WeightedMedianError> {
+pub fn weighted_median<T: Ord + Copy>(items: &mut [(T, u64)]) -> Result<T, WeightedMedianError> {
     let total: u64 = items.iter().map(|&(_, w)| w).sum();
     if total == 0 {
         return Err(WeightedMedianError);

@@ -62,11 +62,8 @@ impl GaussianMixture {
         (0..n)
             .map(|i| {
                 let c = i % self.clusters;
-                let coords: Vec<f64> = centers[c]
-                    .0
-                    .iter()
-                    .map(|&mu| mu + self.spread * gaussian(&mut rng))
-                    .collect();
+                let coords: Vec<f64> =
+                    centers[c].0.iter().map(|&mu| mu + self.spread * gaussian(&mut rng)).collect();
                 (VecPoint::new(coords), Label::Class(c as u32))
             })
             .collect()
@@ -125,7 +122,8 @@ mod tests {
         let data = gm.generate(200, 9);
         for (i, (p, _)) in data.iter().enumerate() {
             let c = &centers[i % 2];
-            let d: f64 = p.0.iter().zip(c.0.iter()).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+            let d: f64 =
+                p.0.iter().zip(c.0.iter()).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
             assert!(d < 2.0, "point {i} is {d} from its center");
         }
     }

@@ -20,11 +20,8 @@ fn main() {
     let mut ids = IdAssigner::new(3);
     let data = Dataset::from_labeled(train, &mut ids);
 
-    let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder()
-        .machines(16)
-        .seed(5)
-        .metric(Metric::Euclidean)
-        .build();
+    let mut cluster: KnnCluster<VecPoint> =
+        KnnCluster::builder().machines(16).seed(5).metric(Metric::Euclidean).build();
     cluster.load(data, PartitionStrategy::Shuffled);
 
     let ell = 15;

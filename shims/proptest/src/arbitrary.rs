@@ -1,0 +1,41 @@
+//! The `any::<T>()` entry point for primitive types.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// A type with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value uniformly from the type's domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+impl_arbitrary_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}

@@ -1,0 +1,69 @@
+//! Collection strategies: random-length vectors and hash sets.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_size(&self.size, rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A vector whose length is uniform in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let target = sample_size(&self.size, rng);
+        let mut set = HashSet::with_capacity(target);
+        // Like real proptest, the target is a goal, not a guarantee: bail
+        // out after a bounded number of duplicate draws so narrow element
+        // domains cannot loop forever.
+        let mut attempts = 0;
+        while set.len() < target && attempts < 16 * target.max(1) {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A hash set with approximately `size` elements drawn from `element`.
+pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+fn sample_size(size: &Range<usize>, rng: &mut StdRng) -> usize {
+    assert!(size.start < size.end, "empty size range for collection strategy");
+    rng.random_range(size.clone())
+}

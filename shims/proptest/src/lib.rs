@@ -1,0 +1,158 @@
+//! # proptest (offline shim)
+//!
+//! A small, dependency-light stand-in for the `proptest` crate, written for
+//! this workspace's hermetic (no crates.io) build environment. It supports
+//! the subset of the real API the workspace uses:
+//!
+//! * the [`proptest!`] macro (`fn name(x in strategy, ...) { body }`, with an
+//!   optional `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`strategy::Strategy`] implementations for integer and float ranges,
+//!   tuples, [`strategy::Just`], and [`prop_oneof!`];
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`collection::vec`] and [`collection::hash_set`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the panic
+//!   message of the underlying `assert!`) but is not minimized;
+//! * **deterministic** — each test function derives its RNG stream from its
+//!   own `module_path!::name`, so failures reproduce exactly across runs;
+//!   set `PROPTEST_SEED` to explore a different stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest!` idiom needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derive the deterministic RNG for one property-test function.
+///
+/// The stream is a pure function of the fully-qualified test name, XORed
+/// with `PROPTEST_SEED` when set, so every test draws from its own
+/// reproducible sequence.
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test path.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = s.parse::<u64>() {
+            h ^= extra.rotate_left(17);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Run `cases` deterministic random trials of a property.
+///
+/// This is the expansion target of [`proptest!`]; each trial samples every
+/// declared strategy once and executes the body.
+#[macro_export]
+macro_rules! proptest {
+    (@with $cfg:expr; $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::__seed_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)+) => {
+        $crate::proptest! { @with $cfg; $($rest)+ }
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest! { @with $crate::test_runner::ProptestConfig::default(); $($rest)+ }
+    };
+}
+
+/// Property-test assertion; like `assert!` (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-test equality assertion; like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-test inequality assertion; like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        // One vec! keeps a single inference variable for the value type, so
+        // `prop_oneof![Just(64u64), Just(512)]` unifies all arms to u64.
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = crate::__seed_rng("x::y").next_u64();
+        let b = crate::__seed_rng("x::y").next_u64();
+        let c = crate::__seed_rng("x::z").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_tuples_and_oneof_compose(
+            n in 1usize..50,
+            x in -5i64..5,
+            pair in (0u64..10, 1u64..4),
+            choice in prop_oneof![Just(1u32), Just(7), Just(9)],
+            v in crate::collection::vec(any::<u8>(), 0..20),
+            s in crate::collection::hash_set(0u64..100, 0..30),
+        ) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(pair.0 < 10 && (1..4).contains(&pair.1));
+            prop_assert!([1u32, 7, 9].contains(&choice));
+            prop_assert!(v.len() < 20);
+            prop_assert!(s.len() < 30);
+            prop_assert!(s.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn default_config_form_works(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+}

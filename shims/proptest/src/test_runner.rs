@@ -1,0 +1,22 @@
+//! Runner configuration.
+
+/// How many random cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Real proptest's default: 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}

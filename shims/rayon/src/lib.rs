@@ -1,0 +1,66 @@
+//! # rayon (offline shim)
+//!
+//! A stand-in for `rayon` written for this workspace's hermetic (no
+//! crates.io) build environment. `into_par_iter` / `par_iter` return the
+//! ordinary sequential iterators, so `.map(...).collect()` pipelines
+//! compile and produce byte-identical results — they simply don't use a
+//! thread pool. Call sites keep rayon idiom, and swapping the real crate
+//! back in (when a registry is available) requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits rayon users glob-import.
+pub mod prelude {
+    /// Sequential substitute for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// "Parallel" iterator over `self` — here, the sequential one.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Sequential substitute for rayon's `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// "Parallel" iterator over `&self` — here, the sequential one.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_pipeline_matches_sequential() {
+        let par: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<usize> = (0..10usize).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let v = vec![1u64, 2, 3];
+        let sum: u64 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! # serde (offline shim)
+//!
+//! A stand-in for `serde` written for this workspace's hermetic (no
+//! crates.io) build environment. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` and serializes results to JSON for the bench
+//! harness; nothing is ever parsed back. That lets this shim be radically
+//! simpler than real serde:
+//!
+//! * [`Serialize`] is a marker trait with a blanket impl for every
+//!   `T: Debug`. The local `serde_json` shim renders values by parsing
+//!   their `Debug` representation into JSON (see `serde_json::to_value`).
+//! * [`Deserialize`] is a pure marker (derive-only in this workspace).
+//! * The `#[derive(Serialize, Deserialize)]` macros are no-ops re-exported
+//!   from the local `serde_derive` shim — the blanket impls already cover
+//!   every deriving type, since they all also derive `Debug`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be rendered by the local `serde_json` shim.
+///
+/// Blanket-implemented for every `Debug` type: the JSON encoder works from
+/// the `Debug` representation, which the workspace's derived types all
+/// produce in the standard `{:?}` grammar.
+pub trait Serialize: std::fmt::Debug {}
+
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {}
+
+/// Marker for types that declare `#[derive(Deserialize)]`.
+///
+/// The workspace never deserializes, so no decoding machinery exists; the
+/// derive is accepted for source compatibility with real serde.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the local serde shim.
+//!
+//! The serde shim blanket-implements its marker traits for all `Debug`
+//! types, so these derives only need to (a) exist, so `#[derive(Serialize)]`
+//! resolves, and (b) declare the `#[serde(...)]` helper attribute, so
+//! field/container attributes don't error. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]`; the serde shim's blanket impl applies.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]`; the serde shim's blanket impl applies.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,8 +1,8 @@
 //! Adversarial data layouts: the model allows points to be distributed
 //! adversarially (§1.1); correctness must not depend on balance or order.
 
-use knn_repro::prelude::*;
 use knn_repro::points::brute_force_knn;
+use knn_repro::prelude::*;
 use knn_repro::workloads::partition::ALL_STRATEGIES;
 
 fn sorted_dataset(n: u64) -> Dataset<ScalarPoint> {

@@ -5,12 +5,8 @@ use knn_repro::prelude::*;
 
 fn loaded(k: usize, election: ElectionKind, engine: Engine) -> KnnCluster {
     let shards = ScalarWorkload { per_machine: 2000, lo: 0, hi: 1 << 24 }.generate(k, 17);
-    let mut cluster: KnnCluster = KnnCluster::builder()
-        .machines(k)
-        .seed(5)
-        .election(election)
-        .engine(engine)
-        .build();
+    let mut cluster: KnnCluster =
+        KnnCluster::builder().machines(k).seed(5).election(election).engine(engine).build();
     cluster.load_shards(shards).unwrap();
     cluster
 }
@@ -43,11 +39,8 @@ fn elected_leader_is_respected_by_the_protocol() {
     let mut answers = Vec::new();
     for seed in 0..6 {
         let shards = ScalarWorkload { per_machine: 500, lo: 0, hi: 1 << 20 }.generate(5, 3);
-        let mut cluster: KnnCluster = KnnCluster::builder()
-            .machines(5)
-            .seed(seed)
-            .election(ElectionKind::Flood)
-            .build();
+        let mut cluster: KnnCluster =
+            KnnCluster::builder().machines(5).seed(seed).election(ElectionKind::Flood).build();
         cluster.load_shards(shards).unwrap();
         let ans = cluster.query(&ScalarPoint(1 << 19), 9).unwrap();
         leaders.insert(ans.leader);

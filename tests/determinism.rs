@@ -38,9 +38,8 @@ fn different_seed_same_answer_different_trace() {
 #[test]
 fn threaded_engine_is_deterministic_despite_scheduling() {
     let q = ScalarPoint(5);
-    let runs: Vec<_> = (0..3)
-        .map(|_| cluster_with_seed(7, Engine::Threaded).query(&q, 25).unwrap())
-        .collect();
+    let runs: Vec<_> =
+        (0..3).map(|_| cluster_with_seed(7, Engine::Threaded).query(&q, 25).unwrap()).collect();
     for pair in runs.windows(2) {
         assert_eq!(pair[0].neighbors, pair[1].neighbors);
         assert_eq!(pair[0].metrics.rounds, pair[1].metrics.rounds);

@@ -2,12 +2,11 @@
 //! → answers, validated against the sequential brute-force oracle, on both
 //! engines and all algorithms.
 
-use knn_repro::prelude::*;
 use knn_repro::points::brute_force_knn;
+use knn_repro::prelude::*;
 
 fn oracle_ids(shards: &[Dataset<ScalarPoint>], q: &ScalarPoint, ell: usize) -> Vec<PointId> {
-    let all: Vec<Record<ScalarPoint>> =
-        shards.iter().flat_map(|d| d.records.clone()).collect();
+    let all: Vec<Record<ScalarPoint>> = shards.iter().flat_map(|d| d.records.clone()).collect();
     brute_force_knn(&all, q, ell, Metric::Euclidean).into_iter().map(|(k, _)| k.id).collect()
 }
 
@@ -56,8 +55,7 @@ fn sync_and_threaded_engines_agree_exactly() {
 
 #[test]
 fn vector_points_and_every_metric() {
-    let data = GaussianMixture { dims: 3, clusters: 4, spread: 2.0, range: 10.0 }
-        .generate(600, 5);
+    let data = GaussianMixture { dims: 3, clusters: 4, spread: 2.0, range: 10.0 }.generate(600, 5);
     let q = VecPoint::new(vec![0.5, -1.0, 2.0]);
     for metric in [
         Metric::Euclidean,
@@ -87,6 +85,7 @@ fn duplicate_points_resolved_by_ids() {
     // but the id tie-breaking must make it *one deterministic* set.
     let mut ids = IdAssigner::new(6);
     let data = Dataset::from_points(vec![ScalarPoint(42); 100], &mut ids);
+    let mut all_ids: Vec<PointId> = data.records.iter().map(|r| r.id).collect();
     let mut cluster: KnnCluster = KnnCluster::builder().machines(4).seed(3).build();
     cluster.load(data, PartitionStrategy::RoundRobin);
 
@@ -94,21 +93,11 @@ fn duplicate_points_resolved_by_ids() {
     let b = cluster.query_with(Algorithm::Simple, &ScalarPoint(40), 10).unwrap();
     assert_eq!(a.neighbors, b.neighbors);
     assert_eq!(a.neighbors.len(), 10);
-    // Smallest ids win ties.
-    let mut expected: Vec<PointId> = (0..4)
-        .flat_map(|m| (0..100 / 4).map(move |_| m))
-        .zip(0..)
-        .map(|_| PointId(0))
-        .collect();
-    expected.clear(); // computed below from the answer itself:
-    let mut got: Vec<PointId> = a.neighbors.iter().map(|n| n.id).collect();
-    let sorted = {
-        let mut s = got.clone();
-        s.sort_unstable();
-        s
-    };
-    got.sort_unstable();
-    assert_eq!(got, sorted);
+    // All distances are equal, so DistKey order degenerates to id order:
+    // the answer must be exactly the 10 smallest ids, ascending.
+    all_ids.sort_unstable();
+    let got: Vec<PointId> = a.neighbors.iter().map(|n| n.id).collect();
+    assert_eq!(got, all_ids[..10], "smallest ids win ties, in ascending order");
 }
 
 #[test]

@@ -60,8 +60,7 @@ fn regressor_tracks_smooth_target() {
         let train = gen.generate_regression(2000, 0.2, 5);
         let mut ids = IdAssigner::new(2);
         let data = Dataset::from_labeled(train, &mut ids);
-        let mut cluster: KnnCluster<VecPoint> =
-            KnnCluster::builder().machines(5).seed(3).build();
+        let mut cluster: KnnCluster<VecPoint> = KnnCluster::builder().machines(5).seed(3).build();
         cluster.load(data, PartitionStrategy::Shuffled);
         cluster
     }

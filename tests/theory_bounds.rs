@@ -38,10 +38,7 @@ fn theorem_2_4_rounds_independent_of_k() {
     let r4 = avg_rounds(4);
     let r32 = avg_rounds(32);
     // 8x more machines: rounds should stay in the same ballpark.
-    assert!(
-        r32 < r4 * 2.0,
-        "rounds must not scale with k: k=4 -> {r4}, k=32 -> {r32}"
-    );
+    assert!(r32 < r4 * 2.0, "rounds must not scale with k: k=4 -> {r4}, k=32 -> {r32}");
 }
 
 /// Theorem 2.4: O(k log ℓ) messages — linear in k at fixed ℓ.
