@@ -1,0 +1,190 @@
+//! **Serving throughput** — batch size × algorithm sweep over one loaded
+//! cluster, the scenario the ROADMAP's serving layer targets.
+//!
+//! Batch size 1 is the sequential baseline (one [`KnnCluster::query_with`]
+//! call per query: an election and a full engine run each). Larger batch
+//! sizes serve the *same* query sequence through
+//! [`KnnCluster::query_batch_with`]: one election and one engine run per
+//! batch, queries multiplexed over the shared links, candidates from the
+//! per-shard indices. Reported per algorithm × batch size:
+//!
+//! * `qps` — queries per second of wall clock;
+//! * `rounds/q` — simulated communication rounds per query;
+//! * `msgs/q`, `kbits/q` — traffic per query (tag framing included);
+//! * `elections` — leader elections run for the whole sweep.
+//!
+//! Reading the rounds column: for `alg2-knn`, `simple`, and the sequential
+//! `saukas-song` path the batch>1 rows differ from batch=1 only by
+//! election amortization and pipelining, since both paths feed the
+//! protocols the local top-ℓ. For `binsearch` the indexed candidates
+//! *additionally* shrink the bisection's value interval (the sequential
+//! baseline faithfully bisects the full local key sets), so its drop
+//! overstates pure batching gains.
+//!
+//! ```text
+//! cargo run -p knn-bench --release --bin throughput
+//!     [--k 8] [--per-machine 4096] [--ell 64] [--queries 64]
+//!     [--batches 1,8,64] [--seed 7]
+//! ```
+//!
+//! Writes `results/throughput.{csv,json}` so CI accumulates the perf
+//! trajectory across commits.
+
+use std::time::Instant;
+
+use knn_bench::args::Args;
+use knn_bench::table::Table;
+use knn_bench::{write_csv, write_json};
+use knn_core::cluster::KnnCluster;
+use knn_core::runner::{Algorithm, ElectionKind};
+use knn_workloads::{QueryStream, ScalarWorkload};
+
+#[derive(Debug, serde::Serialize)]
+struct Row {
+    algorithm: String,
+    batch_size: usize,
+    queries: usize,
+    qps: f64,
+    rounds_per_query: f64,
+    messages_per_query: f64,
+    kilobits_per_query: f64,
+    elections: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let k = args.get_usize("k", 8);
+    let per_machine = args.get_usize("per-machine", 1 << 12);
+    let ell = args.get_usize("ell", 64);
+    let total = args.get_usize("queries", 64);
+    let batches = args.get_list("batches", &[1, 8, 64]);
+    let seed = args.get_u64("seed", 7);
+    let hi = 1u64 << 32;
+
+    let shards = ScalarWorkload { per_machine, lo: 0, hi }.generate(k, seed);
+    let mut cluster: KnnCluster =
+        KnnCluster::builder().machines(k).seed(seed).election(ElectionKind::Star).build();
+    cluster.load_shards(shards).expect("shard count matches k");
+
+    println!(
+        "== Serving throughput: k = {k}, {per_machine} pts/machine, ell = {ell}, \
+         {total} queries ==\n"
+    );
+    let mut table =
+        Table::new(&["algorithm", "batch", "qps", "rounds/q", "msgs/q", "kbits/q", "elections"]);
+    let mut rows: Vec<Row> = Vec::new();
+
+    for algo in Algorithm::ALL {
+        for &bs in &batches {
+            let mut rounds = 0u64;
+            let mut messages = 0u64;
+            let mut bits = 0u64;
+            let mut elections = 0u64;
+            let start = Instant::now();
+            if bs <= 1 {
+                // Sequential baseline: every query pays its own election
+                // and its own engine run.
+                for batch in QueryStream::scalar(total, 1, 0, hi, seed) {
+                    let ans = cluster.query_with(algo, &batch[0], ell).expect("query");
+                    rounds += ans.metrics.rounds;
+                    messages += ans.metrics.messages;
+                    bits += ans.metrics.bits;
+                    if let Some(em) = &ans.election_metrics {
+                        elections += 1;
+                        rounds += em.rounds;
+                        messages += em.messages;
+                        bits += em.bits;
+                    }
+                }
+            } else {
+                for batch in QueryStream::scalar(total, bs, 0, hi, seed) {
+                    let out = cluster.query_batch_with(algo, &batch, ell).expect("batch");
+                    rounds += out.metrics.rounds;
+                    messages += out.metrics.messages;
+                    bits += out.metrics.bits;
+                    if let Some(em) = &out.election_metrics {
+                        elections += 1;
+                        rounds += em.rounds;
+                        messages += em.messages;
+                        bits += em.bits;
+                    }
+                }
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let row = Row {
+                algorithm: algo.name().to_string(),
+                batch_size: bs,
+                queries: total,
+                qps: total as f64 / wall.max(1e-9),
+                rounds_per_query: rounds as f64 / total as f64,
+                messages_per_query: messages as f64 / total as f64,
+                kilobits_per_query: bits as f64 / 1000.0 / total as f64,
+                elections,
+            };
+            table.row(vec![
+                row.algorithm.clone(),
+                bs.to_string(),
+                format!("{:.0}", row.qps),
+                format!("{:.2}", row.rounds_per_query),
+                format!("{:.1}", row.messages_per_query),
+                format!("{:.2}", row.kilobits_per_query),
+                row.elections.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    table.print();
+
+    // The amortization headline the serving layer exists for: batching must
+    // strictly reduce rounds per query for the bandwidth-bound baseline.
+    let simple = |bs: usize| {
+        rows.iter()
+            .find(|r| r.algorithm == Algorithm::Simple.name() && r.batch_size == bs)
+            .map(|r| r.rounds_per_query)
+    };
+    if let (Some(seq), Some(&max_batch)) = (simple(1), batches.iter().max()) {
+        if let Some(batched) = simple(max_batch).filter(|_| max_batch > 1) {
+            println!(
+                "\namortization check (simple): sequential {seq:.2} rounds/query vs batched \
+                 {batched:.2} at batch {max_batch} -> {}",
+                if batched < seq { "amortized" } else { "NOT amortized" }
+            );
+            assert!(
+                batched < seq,
+                "batched rounds/query ({batched:.2}) must be strictly below sequential ({seq:.2})"
+            );
+        }
+    }
+
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.clone(),
+                r.batch_size.to_string(),
+                r.queries.to_string(),
+                format!("{:.1}", r.qps),
+                format!("{:.3}", r.rounds_per_query),
+                format!("{:.2}", r.messages_per_query),
+                format!("{:.3}", r.kilobits_per_query),
+                r.elections.to_string(),
+            ]
+        })
+        .collect();
+    let csv = write_csv(
+        "throughput",
+        &[
+            "algorithm",
+            "batch",
+            "queries",
+            "qps",
+            "rounds_per_query",
+            "messages_per_query",
+            "kilobits_per_query",
+            "elections",
+        ],
+        &csv_rows,
+    );
+    let json = write_json("throughput", &rows);
+    println!("\nwrote {} and {}", csv.display(), json.display());
+}

@@ -10,6 +10,7 @@
 //! | `messages_table` | Message complexity vs `k·log₂ ℓ`                  |
 //! | `lemma23`        | Lemma 2.3: survivor distribution after pruning    |
 //! | `baselines`      | All algorithms: rounds / messages / bits          |
+//! | `throughput`     | Serving layer: batch size × algorithm sweep       |
 //!
 //! plus Criterion micro-benchmarks of the sequential substrates
 //! (`cargo bench -p knn-bench`).

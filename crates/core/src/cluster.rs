@@ -5,17 +5,19 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use kmachine::{BandwidthMode, Engine, MachineId, RunMetrics};
-use knn_points::{Dataset, Dist, Label, Metric, Point, PointId, ScalarPoint};
+use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
 use knn_workloads::PartitionStrategy;
 
 use crate::error::CoreError;
+use crate::local::IndexedPoint;
 use crate::protocols::knn::{KnnParams, KnnStats};
 use crate::runner::{
     merge_answers, run_approx_query, run_query, Algorithm, ElectionKind, QueryOptions,
 };
+use crate::session::{BatchOutcome, QuerySession};
 
 /// One answer point of an ℓ-NN query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct Neighbor {
     /// The point's unique id.
     pub id: PointId,
@@ -29,7 +31,7 @@ pub struct Neighbor {
 }
 
 /// Result of an ℓ-NN query, with full cost accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct KnnAnswer {
     /// The ℓ nearest neighbors, ascending by `(distance, id)`.
     pub neighbors: Vec<Neighbor>,
@@ -44,6 +46,32 @@ pub struct KnnAnswer {
     pub election_metrics: Option<RunMetrics>,
     /// Algorithm 2 diagnostics (sampling / pruning / iterations).
     pub stats: Option<KnnStats>,
+}
+
+/// Result of a batched query run: per-query answers plus the aggregate cost
+/// of the one engine run that served them all.
+///
+/// Inside each per-query [`KnnAnswer`]: `metrics.rounds` is the batch round
+/// in which that query completed, `metrics.messages`/`metrics.bits` are the
+/// traffic attributed to that query's tag, `metrics.sends_per_machine` is
+/// **empty** (per-machine sends are accounted only on the aggregate),
+/// `wall` is zero (the batch shares one wall clock, reported here), and
+/// `election_metrics` is `None` — the batch's single election is reported
+/// once, on this struct.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BatchAnswer {
+    /// Per-query answers, in input order.
+    pub answers: Vec<KnnAnswer>,
+    /// Aggregate communication costs of the batch's single engine run
+    /// (`per_tag` splits messages/bits by query).
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the batch run.
+    pub wall: Duration,
+    /// The leader that coordinated every query in the batch.
+    pub leader: MachineId,
+    /// Cost of the batch's **single** leader election (`None` under
+    /// [`ElectionKind::Fixed`]).
+    pub election_metrics: Option<RunMetrics>,
 }
 
 /// Builder for [`KnnCluster`].
@@ -127,11 +155,12 @@ impl ClusterBuilder {
     }
 
     /// Finish building.
-    pub fn build<P: Point>(self) -> KnnCluster<P> {
+    pub fn build<P: IndexedPoint>(self) -> KnnCluster<P> {
         assert!(self.k >= 1, "cluster needs at least one machine");
         KnnCluster {
             shards: Vec::new(),
             index: Vec::new(),
+            shard_indices: Vec::new(),
             opts: self.opts,
             algorithm: self.algorithm,
             k: self.k,
@@ -145,10 +174,13 @@ impl ClusterBuilder {
 /// ([`ScalarPoint`]); `KnnCluster::<VecPoint>::builder()` (or type
 /// inference from [`KnnCluster::load`]) selects other point types.
 #[derive(Debug)]
-pub struct KnnCluster<P: Point = ScalarPoint> {
+pub struct KnnCluster<P: IndexedPoint = ScalarPoint> {
     shards: Vec<Dataset<P>>,
     /// Per-shard `id → record index`, for resolving answers to labels.
     index: Vec<HashMap<PointId, usize>>,
+    /// Per-shard candidate-generation indices, built once at load and
+    /// reused by every serving-path query (see [`IndexedPoint`]).
+    shard_indices: Vec<P::Index>,
     opts: QueryOptions,
     algorithm: Algorithm,
     k: usize,
@@ -162,7 +194,7 @@ impl KnnCluster {
     }
 }
 
-impl<P: Point> KnnCluster<P> {
+impl<P: IndexedPoint> KnnCluster<P> {
     /// Number of machines.
     pub fn k(&self) -> usize {
         self.k
@@ -208,6 +240,7 @@ impl<P: Point> KnnCluster<P> {
             .iter()
             .map(|d| d.records.iter().enumerate().map(|(i, r)| (r.id, i)).collect())
             .collect();
+        self.shard_indices = shards.iter().map(|d| P::build_index(&d.records)).collect();
         self.shards = shards;
     }
 
@@ -256,6 +289,81 @@ impl<P: Point> KnnCluster<P> {
             election_metrics: out.election_metrics,
             stats: out.stats,
         })
+    }
+
+    /// Open a serving session: elect the leader **once** and reuse it for
+    /// every batch the session runs. [`Self::query_batch`] opens a
+    /// throwaway session per call; hold one of these to amortize the
+    /// election across many batches.
+    pub fn session(&self) -> Result<QuerySession<'_, P>, CoreError> {
+        if self.shards.is_empty() {
+            return Err(CoreError::NotLoaded);
+        }
+        QuerySession::new(&self.shards, &self.shard_indices, self.opts.clone())
+    }
+
+    /// Answer a batch of ℓ-NN queries with the cluster's default algorithm
+    /// in **one engine run**: one leader election, one protocol instance
+    /// per query multiplexed over the shared links, and per-shard indices
+    /// (built at load) generating local candidates in `O(ℓ log n)`.
+    ///
+    /// The per-query answers are exactly what sequential [`Self::query`]
+    /// calls would return; the costs are what batching saves.
+    pub fn query_batch(&self, queries: &[P], ell: usize) -> Result<BatchAnswer, CoreError> {
+        self.query_batch_with(self.algorithm, queries, ell)
+    }
+
+    /// Answer a batch of ℓ-NN queries with a specific algorithm.
+    pub fn query_batch_with(
+        &self,
+        algorithm: Algorithm,
+        queries: &[P],
+        ell: usize,
+    ) -> Result<BatchAnswer, CoreError> {
+        let session = self.session()?;
+        let out = session.run_batch(queries, ell, algorithm)?;
+        Ok(self.resolve_batch(out))
+    }
+
+    /// Answer a batch of *approximate* ℓ-NN queries (pruning-only
+    /// supersets, as [`Self::query_approx`]) in one engine run.
+    pub fn query_batch_approx(&self, queries: &[P], ell: usize) -> Result<BatchAnswer, CoreError> {
+        let session = self.session()?;
+        let out = session.run_batch_approx(queries, ell)?;
+        Ok(self.resolve_batch(out))
+    }
+
+    /// Resolve a batch outcome's keys into labeled per-query answers.
+    fn resolve_batch(&self, out: BatchOutcome) -> BatchAnswer {
+        let answers = out
+            .queries
+            .iter()
+            .map(|q| {
+                // Per-machine sends are not attributed per query; leave the
+                // vector empty rather than pretending k zeros are counts.
+                let metrics = RunMetrics {
+                    rounds: q.done_round,
+                    messages: q.messages,
+                    bits: q.bits,
+                    ..Default::default()
+                };
+                KnnAnswer {
+                    neighbors: self.resolve(&q.local_keys),
+                    metrics,
+                    wall: Duration::ZERO,
+                    leader: out.leader,
+                    election_metrics: None,
+                    stats: q.stats,
+                }
+            })
+            .collect();
+        BatchAnswer {
+            answers,
+            metrics: out.metrics,
+            wall: out.wall,
+            leader: out.leader,
+            election_metrics: out.election_metrics,
+        }
     }
 
     /// Map answer keys back to labeled neighbors via the shard indices.

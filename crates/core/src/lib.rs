@@ -24,6 +24,10 @@
 //!   locally.
 //! * [`cluster::KnnCluster`] — the user-facing facade: load data, pick an
 //!   algorithm and engine, run queries, inspect exact round/message costs.
+//! * [`session::QuerySession`] — the **batched serving path**: one leader
+//!   election per session, one engine run per batch (queries multiplexed
+//!   over shared links), and per-shard indices ([`local::IndexedPoint`])
+//!   generating local candidates in `O(ℓ log n)` instead of `O(n)`.
 //! * [`ml`] — ℓ-NN classification (majority vote) and regression (mean),
 //!   the applications motivating the paper.
 //!
@@ -66,7 +70,10 @@ pub mod local;
 pub mod ml;
 pub mod protocols;
 pub mod runner;
+pub mod session;
 
-pub use cluster::{ClusterBuilder, KnnAnswer, KnnCluster, Neighbor};
+pub use cluster::{BatchAnswer, ClusterBuilder, KnnAnswer, KnnCluster, Neighbor};
 pub use error::CoreError;
+pub use local::IndexedPoint;
 pub use runner::{Algorithm, ElectionKind, QueryOptions};
+pub use session::{BatchOutcome, BatchQueryOutcome, QuerySession};

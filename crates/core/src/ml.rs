@@ -2,10 +2,11 @@
 //! paper (§1: "assign a label to q based on the labels of the K-nearest
 //! points").
 
-use knn_points::{Label, Point};
+use knn_points::Label;
 
 use crate::cluster::{KnnCluster, Neighbor};
 use crate::error::CoreError;
+use crate::local::IndexedPoint;
 
 /// Majority vote over the neighbors' class labels; ties break toward the
 /// smaller class id, unlabeled and regression-labeled neighbors are
@@ -61,12 +62,12 @@ pub fn weighted_mean_value(neighbors: &[Neighbor]) -> Option<f64> {
 
 /// An ℓ-NN classifier over a distributed dataset.
 #[derive(Debug)]
-pub struct KnnClassifier<P: Point> {
+pub struct KnnClassifier<P: IndexedPoint> {
     cluster: KnnCluster<P>,
     ell: usize,
 }
 
-impl<P: Point> KnnClassifier<P> {
+impl<P: IndexedPoint> KnnClassifier<P> {
     /// Classify by majority vote over the `ell` nearest neighbors.
     pub fn new(cluster: KnnCluster<P>, ell: usize) -> Self {
         KnnClassifier { cluster, ell }
@@ -85,13 +86,13 @@ impl<P: Point> KnnClassifier<P> {
 
 /// An ℓ-NN regressor over a distributed dataset.
 #[derive(Debug)]
-pub struct KnnRegressor<P: Point> {
+pub struct KnnRegressor<P: IndexedPoint> {
     cluster: KnnCluster<P>,
     ell: usize,
     weighted: bool,
 }
 
-impl<P: Point> KnnRegressor<P> {
+impl<P: IndexedPoint> KnnRegressor<P> {
     /// Predict by plain mean of the `ell` nearest targets.
     pub fn new(cluster: KnnCluster<P>, ell: usize) -> Self {
         KnnRegressor { cluster, ell, weighted: false }

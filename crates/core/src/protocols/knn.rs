@@ -73,7 +73,7 @@ fn scaled_log(factor: u32, ell: u64) -> usize {
 
 /// Diagnostics from the leader's point of view, consumed by the
 /// experiments (Lemma 2.3, Theorem 2.4).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct KnnStats {
     /// Samples requested per machine.
     pub sample_size: u64,

@@ -7,7 +7,7 @@
 //! `Θ(ℓ)` rounds (each link carries O(1) keys per round) and `Θ(kℓ)`
 //! messages — exponentially more rounds than Algorithm 2's `O(log ℓ)`.
 
-use kmachine::{Ctx, MachineId, Payload, Protocol, Step};
+use kmachine::{Ctx, MachineId, Payload, Protocol, Step, ENVELOPE_HEADER_BITS};
 use knn_points::Key;
 
 use super::knn::KeySource;
@@ -36,7 +36,7 @@ pub enum SimpleMsg<K: Key> {
 impl<K: Key> Payload for SimpleMsg<K> {
     fn size_bits(&self) -> u64 {
         match self {
-            SimpleMsg::Batch { keys, .. } => 33 + K::BITS * keys.len() as u64,
+            SimpleMsg::Batch { keys, .. } => ENVELOPE_HEADER_BITS + K::BITS * keys.len() as u64,
             SimpleMsg::Boundary { .. } => 2 + K::BITS,
         }
     }
@@ -47,8 +47,9 @@ pub struct SimpleProtocol<'a, K: Key> {
     id: MachineId,
     leader: MachineId,
     ell: u64,
-    /// Keys per [`SimpleMsg::Batch`]; pick `⌊(B − 33) / K::BITS⌋.max(1)` to
-    /// model one full link-round per message.
+    /// Keys per [`SimpleMsg::Batch`]; pick
+    /// `⌊(B − ENVELOPE_HEADER_BITS) / K::BITS⌋.max(1)` to model one full
+    /// link-round per message.
     chunk: usize,
     input: Option<KeySource<'a, K>>,
     /// Local top-ℓ, sorted.

@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use kmachine::leader::{RandRankFlood, RandRankStar};
-use kmachine::{BandwidthMode, Engine, MachineId, NetConfig, RunMetrics};
+use kmachine::{
+    BandwidthMode, Engine, MachineId, NetConfig, RunMetrics, ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
+};
 use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
 use crate::error::CoreError;
@@ -99,7 +101,7 @@ impl Default for QueryOptions {
 }
 
 impl QueryOptions {
-    fn net_config(&self, k: usize) -> NetConfig {
+    pub(crate) fn net_config(&self, k: usize) -> NetConfig {
         NetConfig::new(k)
             .with_seed(self.seed)
             .with_bandwidth(self.bandwidth)
@@ -109,10 +111,22 @@ impl QueryOptions {
 
     /// Keys per batch message such that one batch fills one link-round.
     pub fn simple_chunk(&self) -> usize {
+        self.chunk_after_overhead(ENVELOPE_HEADER_BITS)
+    }
+
+    /// Keys per batch message on the multiplexed serving path, where every
+    /// message additionally carries its query tag.
+    pub fn mux_chunk(&self) -> usize {
+        self.chunk_after_overhead(ENVELOPE_HEADER_BITS + MUX_TAG_BITS)
+    }
+
+    /// Keys per message after `overhead` framing bits, filling one
+    /// link-round.
+    fn chunk_after_overhead(&self, overhead: u64) -> usize {
         match self.bandwidth {
             BandwidthMode::Unlimited => 64,
             BandwidthMode::Enforce { bits_per_round } => {
-                ((bits_per_round.saturating_sub(33)) / DistKey::BITS).max(1) as usize
+                ((bits_per_round.saturating_sub(overhead)) / DistKey::BITS).max(1) as usize
             }
         }
     }
@@ -135,8 +149,13 @@ pub struct QueryOutcome {
     pub stats: Option<KnnStats>,
 }
 
-/// Elect a leader (when requested) and account its cost.
-fn elect(k: usize, opts: &QueryOptions) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
+/// Elect a leader (when requested) and account its cost. The serving layer
+/// ([`crate::session::QuerySession`]) calls this once per session and then
+/// amortizes the elected leader across every query it runs.
+pub(crate) fn elect(
+    k: usize,
+    opts: &QueryOptions,
+) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
     let cfg = opts.net_config(k);
     match opts.election {
         ElectionKind::Fixed => Ok((0, None)),

@@ -1,0 +1,436 @@
+//! Batched query serving: one leader election, one engine run per batch,
+//! indexed local candidate generation.
+//!
+//! [`crate::runner::run_query`] models the paper's *per-query* cost
+//! exactly: every call elects a leader, builds k fresh protocol instances,
+//! and scans every shard. A serving system answering a stream of queries
+//! against one loaded cluster (the paper's own §3 experimental setup, and
+//! the PANDA \[14\] amortization argument) should pay none of that per
+//! query — which is what [`QuerySession`] provides:
+//!
+//! * the **leader is elected once per session** and reused by every query;
+//! * a batch of m queries runs as **one engine run**: each machine
+//!   multiplexes m protocol instances over its links via
+//!   [`kmachine::mux::MuxProtocol`], so the per-run fixed rounds (round-0
+//!   scheduling, completion broadcasts) are paid once and the instances
+//!   pipeline through the shared bandwidth;
+//! * local candidate generation uses the **per-shard indices built at load
+//!   time** ([`crate::local::IndexedPoint`]) — `O(ℓ log n)` per query
+//!   instead of the `O(n)` full scan.
+//!
+//! Per-query costs stay observable: message/bit totals are attributed by
+//! query tag ([`kmachine::RunMetrics::per_tag`]) and each query reports the
+//! round in which it completed.
+
+use std::time::Duration;
+
+use kmachine::mux::{MuxOutput, MuxProtocol};
+use kmachine::{MachineId, Protocol, RunMetrics, TagMetrics};
+use knn_points::{Dataset, DistKey, Metric};
+
+use crate::error::CoreError;
+use crate::local::IndexedPoint;
+use crate::protocols::approx::ApproxKnnProtocol;
+use crate::protocols::binsearch::BinSearchProtocol;
+use crate::protocols::knn::{KeySource, KnnProtocol, KnnStats};
+use crate::protocols::saukas_song::SaukasSongProtocol;
+use crate::protocols::simple::SimpleProtocol;
+use crate::runner::{elect, Algorithm, QueryOptions};
+
+/// Per-query result inside a batch, before point resolution.
+#[derive(Debug, Clone)]
+pub struct BatchQueryOutcome {
+    /// Per-machine answer keys (machine `i`'s members of the ℓ-NN set).
+    pub local_keys: Vec<Vec<DistKey>>,
+    /// Messages attributed to this query's tag.
+    pub messages: u64,
+    /// Bits attributed to this query's tag (tag framing included).
+    pub bits: u64,
+    /// Round of the batch run in which this query completed (max over
+    /// machines).
+    pub done_round: u64,
+    /// Algorithm 2 diagnostics (`None` for the baselines and approx).
+    pub stats: Option<KnnStats>,
+    /// Approx path only: global survivor total.
+    pub approx_total: Option<u64>,
+    /// Approx path only: whether the survivor set provably contains the
+    /// exact ℓ-NN.
+    pub contains_exact: Option<bool>,
+}
+
+/// Result of one batched run of m queries.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query outcomes, in input order.
+    pub queries: Vec<BatchQueryOutcome>,
+    /// Aggregate communication costs of the whole batch run (one engine
+    /// run; `per_tag` splits messages/bits by query).
+    pub metrics: RunMetrics,
+    /// Wall-clock time of the batch run.
+    pub wall: Duration,
+    /// The session leader that coordinated every query.
+    pub leader: MachineId,
+    /// Cost of the session's one-time election (`None` under
+    /// [`crate::runner::ElectionKind::Fixed`]); identical for every batch
+    /// of the session — it is *not* re-paid per batch.
+    pub election_metrics: Option<RunMetrics>,
+}
+
+/// Extractor for protocols whose per-machine output already *is* the answer
+/// key vector (Simple, Saukas–Song, BinSearch). Extractors take the mux
+/// outputs by `&mut` so they can move the answer vectors out instead of
+/// cloning them.
+fn plain_keys(
+    outs: &mut [MuxOutput<Vec<DistKey>>],
+    j: usize,
+    _leader: MachineId,
+) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>) {
+    (outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j])).collect(), None, None, None)
+}
+
+/// A serving session over a loaded, indexed cluster: elects the leader once
+/// and answers query batches until dropped.
+///
+/// Borrowing the shards and indices keeps the session zero-copy; create one
+/// with [`QuerySession::new`] or through
+/// [`crate::cluster::KnnCluster::session`].
+#[derive(Debug)]
+pub struct QuerySession<'a, P: IndexedPoint> {
+    shards: &'a [Dataset<P>],
+    indices: &'a [P::Index],
+    opts: QueryOptions,
+    leader: MachineId,
+    election_metrics: Option<RunMetrics>,
+}
+
+impl<'a, P: IndexedPoint> QuerySession<'a, P> {
+    /// Open a session: validate the layout and elect the leader (the only
+    /// election this session will ever run).
+    pub fn new(
+        shards: &'a [Dataset<P>],
+        indices: &'a [P::Index],
+        opts: QueryOptions,
+    ) -> Result<Self, CoreError> {
+        if shards.is_empty() {
+            return Err(CoreError::EmptyCluster);
+        }
+        assert_eq!(shards.len(), indices.len(), "one index per shard");
+        let (leader, election_metrics) = elect(shards.len(), &opts)?;
+        Ok(QuerySession { shards, indices, opts, leader, election_metrics })
+    }
+
+    /// The session leader.
+    pub fn leader(&self) -> MachineId {
+        self.leader
+    }
+
+    /// Cost of the session's one-time election.
+    pub fn election_metrics(&self) -> Option<&RunMetrics> {
+        self.election_metrics.as_ref()
+    }
+
+    /// The options this session runs with.
+    pub fn options(&self) -> &QueryOptions {
+        &self.opts
+    }
+
+    /// This machine's indexed top-ℓ candidate source for one query.
+    fn source<'b>(&'b self, machine: usize, query: &'b P, ell: usize) -> KeySource<'b, DistKey> {
+        let records = &self.shards[machine].records;
+        let index = &self.indices[machine];
+        let metric: Metric = self.opts.metric;
+        Box::new(move || P::index_top(index, records, query, ell, metric))
+    }
+
+    /// Answer `queries` (all at the same ℓ) in **one engine run** with
+    /// `algorithm`, multiplexing one protocol instance per query on every
+    /// machine. Answers are exactly what sequential
+    /// [`crate::runner::run_query`] calls would return.
+    pub fn run_batch(
+        &self,
+        queries: &[P],
+        ell: usize,
+        algorithm: Algorithm,
+    ) -> Result<BatchOutcome, CoreError> {
+        let k = self.shards.len();
+        let ell64 = ell as u64;
+        match algorithm {
+            Algorithm::Knn => self.run_mux(
+                queries,
+                |i, q| {
+                    KnnProtocol::new(i, k, self.leader, ell64, self.opts.params, {
+                        self.source(i, q, ell)
+                    })
+                },
+                |outs, j, leader| {
+                    let stats = outs[leader].outputs[j].stats;
+                    let keys =
+                        outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j].keys)).collect();
+                    (keys, stats, None, None)
+                },
+            ),
+            Algorithm::Simple => {
+                let chunk = self.opts.mux_chunk();
+                self.run_mux(
+                    queries,
+                    |i, q| {
+                        SimpleProtocol::new(i, self.leader, ell64, chunk, self.source(i, q, ell))
+                    },
+                    plain_keys,
+                )
+            }
+            Algorithm::SaukasSong => self.run_mux(
+                queries,
+                |i, q| SaukasSongProtocol::new(i, k, self.leader, ell64, self.source(i, q, ell)),
+                plain_keys,
+            ),
+            Algorithm::BinSearch => self.run_mux(
+                queries,
+                |i, q| BinSearchProtocol::new(i, k, self.leader, ell64, self.source(i, q, ell)),
+                plain_keys,
+            ),
+        }
+    }
+
+    /// Answer `queries` approximately (pruning-only supersets, see
+    /// [`crate::protocols::approx`]) in one multiplexed engine run.
+    pub fn run_batch_approx(&self, queries: &[P], ell: usize) -> Result<BatchOutcome, CoreError> {
+        let k = self.shards.len();
+        self.run_mux(
+            queries,
+            |i, q| {
+                ApproxKnnProtocol::new(i, k, self.leader, ell as u64, self.opts.params, {
+                    self.source(i, q, ell)
+                })
+            },
+            |outs, j, leader| {
+                let total = outs[leader].outputs[j].total;
+                let contains = outs[leader].outputs[j].contains_exact;
+                let keys =
+                    outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j].keys)).collect();
+                (keys, None, Some(total), Some(contains))
+            },
+        )
+    }
+
+    /// The shared batched-run skeleton: build one `build(machine, query)`
+    /// protocol instance per (machine, query), multiplex each machine's m
+    /// instances over one engine run, and fold the outcome per query.
+    fn run_mux<'q, Proto, F, G>(
+        &'q self,
+        queries: &'q [P],
+        build: F,
+        extract: G,
+    ) -> Result<BatchOutcome, CoreError>
+    where
+        Proto: Protocol,
+        F: Fn(usize, &'q P) -> Proto,
+        G: Fn(
+            &mut [MuxOutput<Proto::Output>],
+            usize,
+            MachineId,
+        ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>),
+    {
+        let k = self.shards.len();
+        if queries.is_empty() {
+            return Ok(self.empty_outcome(k));
+        }
+        let cfg = self.opts.net_config(k);
+        let protos: Vec<MuxProtocol<Proto>> = (0..k)
+            .map(|i| MuxProtocol::new(queries.iter().map(|q| build(i, q)).collect()))
+            .collect();
+        let out = self.opts.engine.run(&cfg, protos)?;
+        Ok(self.assemble(queries.len(), out, extract))
+    }
+
+    /// Fold one multiplexed [`kmachine::RunOutcome`] into per-query
+    /// outcomes. `extract` moves `(local_keys, stats, approx_total,
+    /// contains_exact)` for query `j` out of the per-machine mux outputs.
+    fn assemble<T, F>(
+        &self,
+        m: usize,
+        out: kmachine::RunOutcome<MuxOutput<T>>,
+        extract: F,
+    ) -> BatchOutcome
+    where
+        F: Fn(
+            &mut [MuxOutput<T>],
+            usize,
+            MachineId,
+        ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>),
+    {
+        let kmachine::RunOutcome { mut outputs, metrics, wall } = out;
+        let queries = (0..m)
+            .map(|j| {
+                let (local_keys, stats, approx_total, contains_exact) =
+                    extract(&mut outputs, j, self.leader);
+                let tag: TagMetrics = metrics.tag(j as u32);
+                let done_round = outputs.iter().map(|mux| mux.done_round[j]).max().unwrap_or(0);
+                BatchQueryOutcome {
+                    local_keys,
+                    messages: tag.messages,
+                    bits: tag.bits,
+                    done_round,
+                    stats,
+                    approx_total,
+                    contains_exact,
+                }
+            })
+            .collect();
+        BatchOutcome {
+            queries,
+            metrics,
+            wall,
+            leader: self.leader,
+            election_metrics: self.election_metrics.clone(),
+        }
+    }
+
+    fn empty_outcome(&self, k: usize) -> BatchOutcome {
+        BatchOutcome {
+            queries: Vec::new(),
+            metrics: RunMetrics::new(k),
+            wall: Duration::ZERO,
+            leader: self.leader,
+            election_metrics: self.election_metrics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::IndexedPoint;
+    use crate::runner::{merge_answers, run_query, ElectionKind};
+    use knn_points::{IdAssigner, ScalarPoint};
+    use knn_workloads::PartitionStrategy;
+
+    fn shards(values: &[u64], k: usize) -> Vec<Dataset<ScalarPoint>> {
+        let mut ids = IdAssigner::new(0);
+        let data = Dataset::from_points(values.iter().map(|&v| ScalarPoint(v)).collect(), &mut ids);
+        PartitionStrategy::RoundRobin
+            .split(data.records, k, 0)
+            .into_iter()
+            .map(Dataset::new)
+            .collect()
+    }
+
+    fn indices(sh: &[Dataset<ScalarPoint>]) -> Vec<<ScalarPoint as IndexedPoint>::Index> {
+        sh.iter().map(|d| ScalarPoint::build_index(&d.records)).collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_algorithm() {
+        let values: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(48271) % 50_000).collect();
+        let sh = shards(&values, 5);
+        let idx = indices(&sh);
+        let queries: Vec<ScalarPoint> =
+            [3u64, 17_000, 49_999, 25_000].iter().map(|&v| ScalarPoint(v)).collect();
+        let opts = QueryOptions::default();
+        let session = QuerySession::new(&sh, &idx, opts.clone()).unwrap();
+        for algo in Algorithm::ALL {
+            let batch = session.run_batch(&queries, 7, algo).unwrap();
+            assert_eq!(batch.queries.len(), queries.len());
+            for (j, q) in queries.iter().enumerate() {
+                let solo = run_query(&sh, q, 7, algo, &opts).unwrap();
+                assert_eq!(
+                    merge_answers(&batch.queries[j].local_keys),
+                    merge_answers(&solo.local_keys),
+                    "{algo:?} query {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn session_elects_exactly_once() {
+        let sh = shards(&(0..100u64).collect::<Vec<_>>(), 4);
+        let idx = indices(&sh);
+        let opts = QueryOptions { election: ElectionKind::Star, ..Default::default() };
+        let session = QuerySession::new(&sh, &idx, opts).unwrap();
+        let em = session.election_metrics().expect("star election ran");
+        assert_eq!(em.messages, 2 * 3);
+        // Two batches through the same session: the election cost is
+        // reported (not re-paid) on both.
+        let a = session.run_batch(&[ScalarPoint(5), ScalarPoint(50)], 3, Algorithm::Knn).unwrap();
+        let b = session.run_batch(&[ScalarPoint(9)], 3, Algorithm::Simple).unwrap();
+        assert_eq!(a.election_metrics.as_ref().unwrap().messages, 6);
+        assert_eq!(b.election_metrics.as_ref().unwrap().messages, 6);
+        assert_eq!(a.leader, b.leader);
+    }
+
+    #[test]
+    fn per_query_attribution_partitions_the_batch() {
+        let sh = shards(&(0..500u64).collect::<Vec<_>>(), 4);
+        let idx = indices(&sh);
+        let session = QuerySession::new(&sh, &idx, QueryOptions::default()).unwrap();
+        let queries: Vec<ScalarPoint> = (0..6).map(|i| ScalarPoint(i * 80)).collect();
+        let batch = session.run_batch(&queries, 9, Algorithm::Simple).unwrap();
+        let msg_sum: u64 = batch.queries.iter().map(|q| q.messages).sum();
+        let bit_sum: u64 = batch.queries.iter().map(|q| q.bits).sum();
+        assert_eq!(msg_sum, batch.metrics.messages);
+        assert_eq!(bit_sum, batch.metrics.bits);
+        for q in &batch.queries {
+            assert!(q.messages > 0);
+            assert!(q.done_round <= batch.metrics.rounds);
+        }
+    }
+
+    #[test]
+    fn batch_approx_reports_guarantees() {
+        let values: Vec<u64> =
+            (0..3000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
+        let sh = shards(&values, 6);
+        let idx = indices(&sh);
+        let session = QuerySession::new(&sh, &idx, QueryOptions::default()).unwrap();
+        let queries: Vec<ScalarPoint> = (0..3).map(|i| ScalarPoint(i * 300_000)).collect();
+        let batch = session.run_batch_approx(&queries, 40).unwrap();
+        for (j, bq) in batch.queries.iter().enumerate() {
+            let total = bq.approx_total.expect("approx reports totals");
+            let survivors: usize = bq.local_keys.iter().map(Vec::len).sum();
+            assert_eq!(survivors as u64, total, "query {j}");
+            assert!(bq.contains_exact.unwrap(), "paper constants should not under-prune");
+            assert!(total >= 40);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let sh = shards(&(0..50u64).collect::<Vec<_>>(), 3);
+        let idx = indices(&sh);
+        let session = QuerySession::new(&sh, &idx, QueryOptions::default()).unwrap();
+        let batch = session.run_batch(&[], 5, Algorithm::Knn).unwrap();
+        assert!(batch.queries.is_empty());
+        assert_eq!(batch.metrics.messages, 0);
+        assert_eq!(batch.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn empty_cluster_is_an_error() {
+        let sh: Vec<Dataset<ScalarPoint>> = Vec::new();
+        let idx: Vec<<ScalarPoint as IndexedPoint>::Index> = Vec::new();
+        let err = QuerySession::new(&sh, &idx, QueryOptions::default()).unwrap_err();
+        assert_eq!(err, CoreError::EmptyCluster);
+    }
+
+    #[test]
+    fn batched_rounds_per_query_beat_sequential_for_simple() {
+        let values: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(48271) % (1 << 20)).collect();
+        let sh = shards(&values, 6);
+        let idx = indices(&sh);
+        let opts = QueryOptions::default();
+        let session = QuerySession::new(&sh, &idx, opts.clone()).unwrap();
+        let queries: Vec<ScalarPoint> = (0..16).map(|i| ScalarPoint(i * 65_536)).collect();
+        let batch = session.run_batch(&queries, 64, Algorithm::Simple).unwrap();
+        let sequential: u64 = queries
+            .iter()
+            .map(|q| run_query(&sh, q, 64, Algorithm::Simple, &opts).unwrap().metrics.rounds)
+            .sum();
+        assert!(
+            batch.metrics.rounds < sequential,
+            "batched {} vs sequential {}",
+            batch.metrics.rounds,
+            sequential
+        );
+    }
+}

@@ -78,7 +78,7 @@ pub fn run_sync<P: Protocol>(
             inboxes[i].clear();
             for env in outbox.drain(..) {
                 let bits = env.msg.size_bits().max(1);
-                metrics.on_send(i, bits);
+                metrics.on_send(i, bits, env.msg.mux_tag());
                 links.entry((env.dst, env.src)).or_default().push(env, bits);
                 sent_any = true;
             }

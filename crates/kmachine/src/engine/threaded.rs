@@ -32,7 +32,7 @@ use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
@@ -50,6 +50,7 @@ struct Shared<M> {
     bits: AtomicU64,
     delivered_after_done: AtomicU64,
     max_backlog: AtomicU64,
+    per_tag: Mutex<Vec<TagMetrics>>,
 }
 
 /// Execute one protocol instance per machine, each on its own OS thread.
@@ -82,6 +83,7 @@ pub fn run_threaded<P: Protocol>(
         bits: AtomicU64::new(0),
         delivered_after_done: AtomicU64::new(0),
         max_backlog: AtomicU64::new(0),
+        per_tag: Mutex::new(Vec::new()),
     };
     let outputs: Vec<Mutex<Option<P::Output>>> = (0..k).map(|_| Mutex::new(None)).collect();
     let sends: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
@@ -109,6 +111,7 @@ pub fn run_threaded<P: Protocol>(
     metrics.delivered_after_done = shared.delivered_after_done.load(Ordering::Acquire);
     metrics.max_link_backlog_bits = shared.max_backlog.load(Ordering::Acquire);
     metrics.sends_per_machine = sends.iter().map(|a| a.load(Ordering::Acquire)).collect();
+    metrics.per_tag = std::mem::take(&mut *shared.per_tag.lock());
 
     let mut outs = Vec::with_capacity(k);
     for (i, slot) in outputs.iter().enumerate() {
@@ -137,6 +140,9 @@ fn machine_main<P: Protocol>(
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
     let mut stage: Vec<Envelope<P::Msg>> = Vec::new();
     let mut my_pending_bits = 0u64;
+    // Thread-local per-tag totals, merged into the shared table once at
+    // exit — the send path stays lock-free.
+    let mut my_tags: Vec<TagMetrics> = Vec::new();
     let mut round = 0u64;
     let mut done = false;
     let mut poisoned = false;
@@ -214,6 +220,14 @@ fn machine_main<P: Protocol>(
                 let bits = env.msg.size_bits().max(1);
                 shared.messages.fetch_add(1, Ordering::AcqRel);
                 shared.bits.fetch_add(bits, Ordering::AcqRel);
+                if let Some(tag) = env.msg.mux_tag() {
+                    let idx = tag as usize;
+                    if idx >= my_tags.len() {
+                        my_tags.resize(idx + 1, TagMetrics::default());
+                    }
+                    my_tags[idx].messages += 1;
+                    my_tags[idx].bits += bits;
+                }
                 links.entry(env.dst).or_default().push(env, bits);
                 sent += 1;
             }
@@ -245,6 +259,17 @@ fn machine_main<P: Protocol>(
         }
         my_pending_bits = now_pending;
         round += 1;
+    }
+
+    if !my_tags.is_empty() {
+        let mut per_tag = shared.per_tag.lock();
+        if per_tag.len() < my_tags.len() {
+            per_tag.resize(my_tags.len(), TagMetrics::default());
+        }
+        for (total, mine) in per_tag.iter_mut().zip(&my_tags) {
+            total.messages += mine.messages;
+            total.bits += mine.bits;
+        }
     }
 }
 

@@ -20,6 +20,10 @@
 //! * bandwidth-limited links ([`BandwidthMode::Enforce`]): each ordered link
 //!   drains at most `B` bits per round, store-and-forward, so protocols that
 //!   ship a lot of data genuinely pay for it in rounds;
+//! * protocol multiplexing ([`mux::MuxProtocol`]): m instances of any
+//!   protocol pipelined over one run, sharing link FIFOs and bandwidth, with
+//!   per-instance message/bit attribution
+//!   ([`RunMetrics::per_tag`](metrics::RunMetrics::per_tag));
 //! * leader election protocols ([`leader`]);
 //! * reproducible per-machine randomness derived from a single master seed.
 //!
@@ -77,6 +81,7 @@ pub mod leader;
 pub mod link;
 pub mod message;
 pub mod metrics;
+pub mod mux;
 pub mod payload;
 pub mod protocol;
 pub mod rng;
@@ -85,7 +90,8 @@ pub use config::{BandwidthMode, NetConfig};
 pub use ctx::Ctx;
 pub use engine::{run_sync, run_threaded, Engine, RunOutcome};
 pub use error::EngineError;
-pub use message::{Envelope, MachineId};
-pub use metrics::RunMetrics;
+pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
+pub use metrics::{RunMetrics, TagMetrics};
+pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};
 pub use payload::Payload;
 pub use protocol::{Protocol, Step};

@@ -6,6 +6,14 @@
 /// exposes them as dense indices.
 pub type MachineId = usize;
 
+/// Wire size in bits of the framing a batched key message carries on top of
+/// its keys: a 32-bit element count plus a 1-bit "last chunk" flag.
+///
+/// Both sides of the size accounting use this constant — protocols charge it
+/// in [`crate::Payload::size_bits`], and runners subtract it from the link
+/// budget when sizing chunks so that one batch fills exactly one link-round.
+pub const ENVELOPE_HEADER_BITS: u64 = 33;
+
 /// A message in flight: payload plus routing metadata.
 #[derive(Debug, Clone)]
 pub struct Envelope<M> {

@@ -2,6 +2,21 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Communication totals attributed to one multiplexing tag (one protocol
+/// instance inside a [`crate::mux::MuxProtocol`] run).
+///
+/// Rounds are a property of the whole run, not of a single instance — the
+/// instances share every link — so per-tag accounting covers messages and
+/// bits; per-instance completion rounds are reported by
+/// [`crate::mux::MuxOutput::done_round`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagMetrics {
+    /// Messages sent carrying this tag.
+    pub messages: u64,
+    /// Payload bits sent carrying this tag (tag framing included).
+    pub bits: u64,
+}
+
 /// Exact communication costs of one protocol run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -22,6 +37,10 @@ pub struct RunMetrics {
     /// output (they are discarded; a nonzero value is normal for protocols
     /// whose completion broadcast races with stragglers).
     pub delivered_after_done: u64,
+    /// Per-tag message and bit totals, indexed by multiplexing tag. Empty
+    /// unless the protocol's payload reports [`crate::Payload::mux_tag`]s
+    /// (i.e. the run multiplexed several instances over shared links).
+    pub per_tag: Vec<TagMetrics>,
 }
 
 impl RunMetrics {
@@ -30,12 +49,33 @@ impl RunMetrics {
         RunMetrics { sends_per_machine: vec![0; k], ..Default::default() }
     }
 
-    /// Record one send.
+    /// Record one send; `tag` attributes it to a multiplexed instance.
     #[inline]
-    pub fn on_send(&mut self, src: usize, bits: u64) {
+    pub fn on_send(&mut self, src: usize, bits: u64, tag: Option<u32>) {
+        let bits = bits.max(1);
         self.messages += 1;
-        self.bits += bits.max(1);
+        self.bits += bits;
         self.sends_per_machine[src] += 1;
+        if let Some(tag) = tag {
+            self.on_tagged(tag, bits);
+        }
+    }
+
+    /// Attribute `bits` (one message) to `tag`, growing the table on demand.
+    #[inline]
+    pub fn on_tagged(&mut self, tag: u32, bits: u64) {
+        let idx = tag as usize;
+        if idx >= self.per_tag.len() {
+            self.per_tag.resize(idx + 1, TagMetrics::default());
+        }
+        self.per_tag[idx].messages += 1;
+        self.per_tag[idx].bits += bits;
+    }
+
+    /// Totals attributed to `tag` (zeros when the tag never sent).
+    #[inline]
+    pub fn tag(&self, tag: u32) -> TagMetrics {
+        self.per_tag.get(tag as usize).copied().unwrap_or_default()
     }
 }
 
@@ -46,12 +86,32 @@ mod tests {
     #[test]
     fn send_accounting() {
         let mut m = RunMetrics::new(3);
-        m.on_send(0, 64);
-        m.on_send(0, 0); // clamped
-        m.on_send(2, 100);
+        m.on_send(0, 64, None);
+        m.on_send(0, 0, None); // clamped
+        m.on_send(2, 100, None);
         assert_eq!(m.messages, 3);
         assert_eq!(m.bits, 64 + 1 + 100);
         assert_eq!(m.sends_per_machine, vec![2, 0, 1]);
+        assert!(m.per_tag.is_empty());
+    }
+
+    #[test]
+    fn tagged_sends_are_attributed() {
+        let mut m = RunMetrics::new(2);
+        m.on_send(0, 64, Some(2));
+        m.on_send(1, 32, Some(0));
+        m.on_send(1, 16, Some(2));
+        m.on_send(0, 8, None);
+        assert_eq!(m.messages, 4);
+        assert_eq!(m.bits, 64 + 32 + 16 + 8);
+        assert_eq!(m.per_tag.len(), 3);
+        assert_eq!(m.tag(0), TagMetrics { messages: 1, bits: 32 });
+        assert_eq!(m.tag(1), TagMetrics::default());
+        assert_eq!(m.tag(2), TagMetrics { messages: 2, bits: 80 });
+        assert_eq!(m.tag(9), TagMetrics::default());
+        // Tagged traffic is a subset of the aggregate totals.
+        let tagged_bits: u64 = m.per_tag.iter().map(|t| t.bits).sum();
+        assert!(tagged_bits <= m.bits);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Protocol multiplexing: m instances of one protocol over one engine run.
+//!
+//! The k-machine model charges per round and per link, so running q queries
+//! as q separate engine runs pays q times every fixed cost: leader election,
+//! round-0 scheduling, completion broadcasts. [`MuxProtocol`] instead runs m
+//! instances of any [`Protocol`] *concurrently* on each machine: messages are
+//! wrapped in [`Tagged`] envelopes carrying a 32-bit instance tag, share the
+//! same link FIFOs, and compete for the same per-link bandwidth `B` — real
+//! query pipelining, with the contention accounted rather than assumed away.
+//!
+//! Determinism: each instance gets its own RNG stream (derived from the
+//! machine RNG at round 0) and its own send-sequence counter, and instances
+//! execute in tag order every round — so a multiplexed run is a pure
+//! function of `(protocols, seed)` on both engines, exactly like a solo run.
+//!
+//! Attribution: the engines split message/bit totals by tag into
+//! [`RunMetrics::per_tag`](crate::RunMetrics::per_tag) (via
+//! [`Payload::mux_tag`]), and [`MuxOutput::done_round`] records the round in
+//! which each instance finished on each machine, so per-query costs survive
+//! the sharing.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::ctx::Ctx;
+use crate::message::Envelope;
+use crate::payload::Payload;
+use crate::protocol::{Protocol, Step};
+
+/// Wire size of the multiplexing tag prepended to every tagged message.
+pub const MUX_TAG_BITS: u64 = 32;
+
+/// A payload wrapped with the instance tag that owns it.
+#[derive(Debug, Clone)]
+pub struct Tagged<M> {
+    /// Index of the protocol instance this message belongs to.
+    pub tag: u32,
+    /// The instance's own payload.
+    pub msg: M,
+}
+
+impl<M: Payload> Payload for Tagged<M> {
+    fn size_bits(&self) -> u64 {
+        MUX_TAG_BITS + self.msg.size_bits()
+    }
+
+    fn mux_tag(&self) -> Option<u32> {
+        Some(self.tag)
+    }
+}
+
+/// Per-machine output of a multiplexed run.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct MuxOutput<T> {
+    /// Instance outputs, indexed by tag.
+    pub outputs: Vec<T>,
+    /// Round in which each instance produced its output on this machine.
+    pub done_round: Vec<u64>,
+}
+
+/// One live instance plus its private determinism state.
+struct Slot<P> {
+    proto: P,
+    rng: StdRng,
+    seq: u64,
+}
+
+/// Runs m instances of `P` as one protocol, multiplexing their messages
+/// over the shared links. See the [module docs](self) for the semantics.
+///
+/// The machine is done when *all* of its instances are done; messages
+/// addressed to an already-finished instance are discarded, mirroring the
+/// engine's treatment of messages delivered to finished machines.
+pub struct MuxProtocol<P: Protocol> {
+    slots: Vec<Option<Slot<P>>>,
+    outputs: Vec<Option<P::Output>>,
+    done_round: Vec<u64>,
+    remaining: usize,
+}
+
+impl<P: Protocol> MuxProtocol<P> {
+    /// Multiplex `instances` (tag = position) over one engine run.
+    ///
+    /// Every machine of the run must be handed the same number of instances
+    /// in the same tag order; tags above `u32::MAX` are rejected.
+    pub fn new(instances: Vec<P>) -> Self {
+        assert!(
+            u32::try_from(instances.len().saturating_sub(1)).is_ok(),
+            "mux tags are 32-bit: {} instances is too many",
+            instances.len()
+        );
+        let m = instances.len();
+        MuxProtocol {
+            // RNG streams are derived lazily in round 0 from the machine
+            // RNG; a placeholder seed keeps the slot layout simple.
+            slots: instances
+                .into_iter()
+                .map(|proto| Some(Slot { proto, rng: StdRng::seed_from_u64(0), seq: 0 }))
+                .collect(),
+            outputs: (0..m).map(|_| None).collect(),
+            done_round: vec![0; m],
+            remaining: m,
+        }
+    }
+
+    /// Number of multiplexed instances.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when multiplexing zero instances.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl<P: Protocol> Protocol for MuxProtocol<P> {
+    type Msg = Tagged<P::Msg>;
+    type Output = MuxOutput<P::Output>;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged<P::Msg>>) -> Step<MuxOutput<P::Output>> {
+        let m = self.slots.len();
+        if ctx.round() == 0 {
+            // Give each instance an independent deterministic RNG stream, so
+            // its random choices do not depend on what the *other* instances
+            // draw (their consumption interleaves otherwise).
+            for slot in self.slots.iter_mut().flatten() {
+                slot.rng = StdRng::seed_from_u64(ctx.rng().random());
+            }
+        }
+
+        // Demultiplex this round's inbox by tag, preserving the engine's
+        // deterministic (src, seq) delivery order within each instance.
+        let mut parts: Vec<Vec<Envelope<P::Msg>>> = (0..m).map(|_| Vec::new()).collect();
+        for env in ctx.inbox() {
+            let tag = env.msg.tag as usize;
+            assert!(tag < m, "message for unknown mux tag {tag} (m = {m})");
+            if self.slots[tag].is_some() {
+                parts[tag].push(Envelope {
+                    src: env.src,
+                    dst: env.dst,
+                    sent_round: env.sent_round,
+                    seq: env.seq,
+                    msg: env.msg.msg.clone(),
+                });
+            }
+        }
+
+        let mut inner_outbox: Vec<Envelope<P::Msg>> = Vec::new();
+        for (tag, part) in parts.iter().enumerate() {
+            let Some(slot) = self.slots[tag].as_mut() else { continue };
+            let step = {
+                let mut inner = Ctx {
+                    id: ctx.id,
+                    k: ctx.k,
+                    round: ctx.round,
+                    inbox: part,
+                    outbox: &mut inner_outbox,
+                    rng: &mut slot.rng,
+                    next_seq: &mut slot.seq,
+                };
+                slot.proto.on_round(&mut inner)
+            };
+            // Re-wrap the instance's sends; the outer ctx re-sequences them,
+            // which keeps the global (src, seq) order consistent with the
+            // tag-ordered execution above.
+            for env in inner_outbox.drain(..) {
+                ctx.send(env.dst, Tagged { tag: tag as u32, msg: env.msg });
+            }
+            if let Step::Done(out) = step {
+                self.outputs[tag] = Some(out);
+                self.done_round[tag] = ctx.round();
+                self.slots[tag] = None;
+                self.remaining -= 1;
+            }
+        }
+
+        if self.remaining == 0 {
+            Step::Done(MuxOutput {
+                outputs: self
+                    .outputs
+                    .iter_mut()
+                    .map(|o| o.take().expect("all instances done"))
+                    .collect(),
+                done_round: std::mem::take(&mut self.done_round),
+            })
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BandwidthMode, NetConfig};
+    use crate::engine::{run_sync, run_threaded};
+
+    /// Every non-leader streams `payload` values to machine 0; machine 0
+    /// acknowledges once everything arrived and outputs the sum; workers
+    /// wait for the ack. The gather contends for bandwidth and the ack
+    /// round-trip is pure latency — the mix the real serving protocols have.
+    #[derive(Clone)]
+    struct StreamSum {
+        payload: u64,
+        acc: u64,
+        finished: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum SsMsg {
+        Val(u64),
+        Last,
+        Ack(u64),
+    }
+    impl Payload for SsMsg {
+        fn size_bits(&self) -> u64 {
+            match self {
+                SsMsg::Val(_) | SsMsg::Ack(_) => 64,
+                SsMsg::Last => 1,
+            }
+        }
+    }
+
+    impl Protocol for StreamSum {
+        type Msg = SsMsg;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, SsMsg>) -> Step<u64> {
+            if ctx.id() != 0 {
+                if ctx.round() == 0 {
+                    for v in 1..=self.payload {
+                        ctx.send(0, SsMsg::Val(v * ctx.id() as u64));
+                    }
+                    ctx.send(0, SsMsg::Last);
+                    return Step::Continue;
+                }
+                if let Some(&SsMsg::Ack(total)) = ctx.first_from(0) {
+                    return Step::Done(total);
+                }
+                return Step::Continue;
+            }
+            if ctx.k() == 1 {
+                return Step::Done(0);
+            }
+            for env in ctx.inbox() {
+                match env.msg {
+                    SsMsg::Val(v) => self.acc += v,
+                    SsMsg::Last => self.finished += 1,
+                    SsMsg::Ack(_) => unreachable!("leader never receives an ack"),
+                }
+            }
+            if self.finished == ctx.k() - 1 {
+                ctx.broadcast(SsMsg::Ack(self.acc));
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    fn solo(k: usize, payload: u64, seed: u64) -> crate::engine::RunOutcome<u64> {
+        let cfg = NetConfig::new(k)
+            .with_seed(seed)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 });
+        let protos: Vec<StreamSum> =
+            (0..k).map(|_| StreamSum { payload, acc: 0, finished: 0 }).collect();
+        run_sync(&cfg, protos).unwrap()
+    }
+
+    fn muxed(k: usize, payloads: &[u64], seed: u64) -> crate::engine::RunOutcome<MuxOutput<u64>> {
+        let cfg = NetConfig::new(k)
+            .with_seed(seed)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 });
+        let protos: Vec<MuxProtocol<StreamSum>> = (0..k)
+            .map(|_| {
+                MuxProtocol::new(
+                    payloads
+                        .iter()
+                        .map(|&p| StreamSum { payload: p, acc: 0, finished: 0 })
+                        .collect(),
+                )
+            })
+            .collect();
+        run_sync(&cfg, protos).unwrap()
+    }
+
+    #[test]
+    fn instances_match_solo_runs_under_bandwidth_enforcement() {
+        let k = 4;
+        let payloads = [3u64, 10, 1];
+        let out = muxed(k, &payloads, 7);
+        for (tag, &p) in payloads.iter().enumerate() {
+            let want = solo(k, p, 7);
+            assert_eq!(
+                out.outputs[0].outputs[tag], want.outputs[0],
+                "instance {tag} diverged from its solo run"
+            );
+        }
+    }
+
+    #[test]
+    fn mux_is_deterministic_and_engine_agnostic() {
+        let k = 3;
+        let payloads = [5u64, 2, 8, 1];
+        let mk = || {
+            (0..k)
+                .map(|_| {
+                    MuxProtocol::new(
+                        payloads
+                            .iter()
+                            .map(|&p| StreamSum { payload: p, acc: 0, finished: 0 })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = NetConfig::new(k)
+            .with_seed(11)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 200 });
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_sync(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        let c = run_threaded(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, c.outputs);
+        assert_eq!(a.metrics.rounds, c.metrics.rounds);
+        assert_eq!(a.metrics.messages, c.metrics.messages);
+        assert_eq!(a.metrics.bits, c.metrics.bits);
+        assert_eq!(a.metrics.per_tag, c.metrics.per_tag);
+    }
+
+    #[test]
+    fn per_tag_metrics_partition_the_totals() {
+        let k = 4;
+        let payloads = [4u64, 9, 2];
+        let out = muxed(k, &payloads, 3);
+        let m = &out.metrics;
+        assert_eq!(m.per_tag.len(), payloads.len());
+        assert_eq!(m.per_tag.iter().map(|t| t.messages).sum::<u64>(), m.messages);
+        assert_eq!(m.per_tag.iter().map(|t| t.bits).sum::<u64>(), m.bits);
+        // Bigger payloads cost proportionally more bits.
+        assert!(m.per_tag[1].bits > m.per_tag[0].bits);
+        assert!(m.per_tag[0].bits > m.per_tag[2].bits);
+        // Each instance: (k-1) senders × (payload Vals + 1 Last), plus the
+        // leader's (k-1) ack broadcasts.
+        for (tag, &p) in payloads.iter().enumerate() {
+            assert_eq!(m.per_tag[tag].messages, (k as u64 - 1) * (p + 2));
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_rounds() {
+        let k = 3;
+        let payloads = [6u64; 8];
+        let batched = muxed(k, &payloads, 5).metrics.rounds;
+        let sequential: u64 = payloads.iter().map(|&p| solo(k, p, 5).metrics.rounds).sum();
+        assert!(
+            batched < sequential,
+            "muxing must amortize rounds: batched {batched} vs sequential {sequential}"
+        );
+    }
+
+    #[test]
+    fn done_rounds_are_monotone_in_fifo_order() {
+        let k = 2;
+        let payloads = [20u64, 20, 20];
+        let out = muxed(k, &payloads, 1);
+        let leader: &MuxOutput<u64> = &out.outputs[0];
+        // All instances enqueue at round 0 on the same FIFO, so the leader
+        // finishes them in tag order.
+        assert!(leader.done_round.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.metrics.rounds >= *leader.done_round.last().unwrap());
+    }
+
+    #[test]
+    fn empty_mux_finishes_immediately() {
+        let cfg = NetConfig::new(2);
+        let protos: Vec<MuxProtocol<StreamSum>> =
+            (0..2).map(|_| MuxProtocol::new(Vec::new())).collect();
+        assert!(protos[0].is_empty());
+        let out = run_sync(&cfg, protos).unwrap();
+        assert_eq!(out.metrics.rounds, 0);
+        assert_eq!(out.metrics.messages, 0);
+        for o in &out.outputs {
+            assert!(o.outputs.is_empty());
+        }
+    }
+
+    #[test]
+    fn tagged_payload_charges_the_tag() {
+        let t = Tagged { tag: 3, msg: SsMsg::Val(7) };
+        assert_eq!(t.size_bits(), MUX_TAG_BITS + 64);
+        assert_eq!(t.mux_tag(), Some(3));
+        assert_eq!(SsMsg::Last.mux_tag(), None);
+    }
+
+    #[test]
+    fn single_instance_mux_matches_solo_answer() {
+        let k = 5;
+        let out = muxed(k, &[12], 9);
+        let want = solo(k, 12, 9);
+        assert_eq!(out.outputs[0].outputs[0], want.outputs[0]);
+        // One tag owns all traffic.
+        assert_eq!(out.metrics.per_tag.len(), 1);
+        assert_eq!(out.metrics.per_tag[0].messages, out.metrics.messages);
+    }
+}

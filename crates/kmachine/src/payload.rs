@@ -11,6 +11,16 @@
 pub trait Payload: Clone + Send + 'static {
     /// Wire size of this message in bits.
     fn size_bits(&self) -> u64;
+
+    /// Multiplexing tag of this message, when it belongs to one instance of
+    /// a [multiplexed protocol](crate::mux::MuxProtocol).
+    ///
+    /// The engines use this to attribute per-instance message and bit counts
+    /// in [`crate::RunMetrics::per_tag`]. Plain (non-multiplexed) payloads
+    /// return `None` and are accounted only in the aggregate totals.
+    fn mux_tag(&self) -> Option<u32> {
+        None
+    }
 }
 
 impl Payload for () {

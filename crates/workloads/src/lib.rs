@@ -12,7 +12,8 @@
 //!   machines, including the adversarial layouts the model allows
 //!   ("adversarially distributed", §1.1): sorted-contiguous (all small
 //!   values on one machine), power-law skew, everything-on-one-machine;
-//! * [`query`] — query-point streams.
+//! * [`query`] — query-point streams, including batched
+//!   [`query::QueryStream`]s for the serving layer.
 //!
 //! Everything is a pure function of explicit seeds.
 
@@ -25,5 +26,6 @@ pub mod scalar;
 pub mod vector;
 
 pub use partition::PartitionStrategy;
+pub use query::QueryStream;
 pub use scalar::ScalarWorkload;
 pub use vector::GaussianMixture;

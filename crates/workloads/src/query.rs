@@ -1,23 +1,121 @@
 //! Query-point streams.
+//!
+//! Two APIs over the same generators:
+//!
+//! * [`scalar_queries`] / [`vector_queries`] — materialize `n` queries at
+//!   once (what the one-shot experiments use);
+//! * [`QueryStream`] — an iterator of query **batches** for the serving
+//!   layer: seeded, deterministic, with a configurable batch size so a
+//!   sweep can replay the *same* query sequence at different batching
+//!   granularities (batch size never changes which queries are drawn).
 
 use knn_points::{ScalarPoint, VecPoint};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
+/// Seed whitening for the scalar stream (distinct from the vector stream so
+/// equal seeds do not correlate the two).
+const SCALAR_STREAM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+/// Seed whitening for the vector stream.
+const VECTOR_STREAM_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
+
 /// `n` uniform scalar queries in `[lo, hi)` — the paper draws each query
 /// uniformly from the data range (§3).
 pub fn scalar_queries(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<ScalarPoint> {
-    assert!(lo < hi, "empty query range");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x94D0_49BB_1331_11EB);
-    (0..n).map(|_| ScalarPoint(rng.random_range(lo..hi))).collect()
+    QueryStream::scalar(n, n.max(1), lo, hi, seed).next().unwrap_or_default()
 }
 
 /// `n` uniform vector queries in `[lo, hi)^dims`.
 pub fn vector_queries(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> Vec<VecPoint> {
-    assert!(lo < hi, "empty query range");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xBF58_476D_1CE4_E5B9);
-    (0..n)
-        .map(|_| VecPoint::new((0..dims).map(|_| rng.random_range(lo..hi)).collect::<Vec<f64>>()))
-        .collect()
+    QueryStream::vector(n, n.max(1), dims, lo, hi, seed).next().unwrap_or_default()
+}
+
+/// A deterministic stream of query batches.
+///
+/// Yields `⌈total / batch_size⌉` batches; every batch has `batch_size`
+/// queries except possibly the last. The underlying query *sequence* is a
+/// pure function of the constructor arguments minus `batch_size`, so
+/// serving benchmarks can sweep batch sizes over identical traffic.
+pub struct QueryStream<P> {
+    remaining: usize,
+    batch_size: usize,
+    gen: Box<dyn FnMut() -> P + Send>,
+}
+
+impl<P> QueryStream<P> {
+    /// A stream of `total` queries drawn from `gen`, in batches of
+    /// `batch_size`.
+    ///
+    /// # Panics
+    /// If `batch_size` is zero.
+    pub fn from_fn(
+        total: usize,
+        batch_size: usize,
+        gen: impl FnMut() -> P + Send + 'static,
+    ) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        QueryStream { remaining: total, batch_size, gen: Box::new(gen) }
+    }
+
+    /// Queries not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Batch size (the last batch may be smaller).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl QueryStream<ScalarPoint> {
+    /// Uniform scalar queries in `[lo, hi)`, batched.
+    ///
+    /// # Panics
+    /// If the range is empty or `batch_size` is zero.
+    pub fn scalar(total: usize, batch_size: usize, lo: u64, hi: u64, seed: u64) -> Self {
+        assert!(lo < hi, "empty query range");
+        let mut rng = StdRng::seed_from_u64(seed ^ SCALAR_STREAM_SALT);
+        Self::from_fn(total, batch_size, move || ScalarPoint(rng.random_range(lo..hi)))
+    }
+}
+
+impl QueryStream<VecPoint> {
+    /// Uniform vector queries in `[lo, hi)^dims`, batched.
+    ///
+    /// # Panics
+    /// If the range is empty or `batch_size` is zero.
+    pub fn vector(
+        total: usize,
+        batch_size: usize,
+        dims: usize,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(lo < hi, "empty query range");
+        let mut rng = StdRng::seed_from_u64(seed ^ VECTOR_STREAM_SALT);
+        Self::from_fn(total, batch_size, move || {
+            VecPoint::new((0..dims).map(|_| rng.random_range(lo..hi)).collect::<Vec<f64>>())
+        })
+    }
+}
+
+impl<P> Iterator for QueryStream<P> {
+    type Item = Vec<P>;
+
+    fn next(&mut self) -> Option<Vec<P>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = self.batch_size.min(self.remaining);
+        self.remaining -= take;
+        Some((0..take).map(|_| (self.gen)()).collect())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let batches = self.remaining.div_ceil(self.batch_size);
+        (batches, Some(batches))
+    }
 }
 
 #[cfg(test)]
@@ -43,5 +141,62 @@ mod tests {
     #[should_panic(expected = "empty query range")]
     fn bad_range_panics() {
         let _ = scalar_queries(1, 9, 9, 0);
+    }
+
+    #[test]
+    fn stream_batches_cover_the_sequence_exactly() {
+        let whole = scalar_queries(23, 0, 1000, 7);
+        for batch_size in [1, 4, 8, 23, 100] {
+            let stream = QueryStream::scalar(23, batch_size, 0, 1000, 7);
+            let sizes: Vec<usize> =
+                QueryStream::scalar(23, batch_size, 0, 1000, 7).map(|b| b.len()).collect();
+            let flat: Vec<ScalarPoint> = stream.flatten().collect();
+            assert_eq!(flat, whole, "batch size {batch_size} changed the sequence");
+            assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == batch_size));
+            assert_eq!(sizes.iter().sum::<usize>(), 23);
+        }
+    }
+
+    #[test]
+    fn stream_bookkeeping() {
+        let mut stream = QueryStream::scalar(10, 4, 0, 10, 0);
+        assert_eq!(stream.batch_size(), 4);
+        assert_eq!(stream.size_hint(), (3, Some(3)));
+        assert_eq!(stream.next().unwrap().len(), 4);
+        assert_eq!(stream.remaining(), 6);
+        assert_eq!(stream.next().unwrap().len(), 4);
+        assert_eq!(stream.next().unwrap().len(), 2);
+        assert!(stream.next().is_none());
+        assert_eq!(stream.remaining(), 0);
+    }
+
+    #[test]
+    fn vector_stream_matches_materialized_queries() {
+        let whole = vector_queries(12, 2, -3.0, 3.0, 9);
+        let flat: Vec<VecPoint> = QueryStream::vector(12, 5, 2, -3.0, 3.0, 9).flatten().collect();
+        assert_eq!(flat, whole);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        assert!(QueryStream::scalar(0, 8, 0, 10, 0).next().is_none());
+        assert!(scalar_queries(0, 0, 10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = QueryStream::scalar(5, 0, 0, 10, 0);
+    }
+
+    #[test]
+    fn from_fn_custom_generator() {
+        let mut i = 0u64;
+        let stream = QueryStream::from_fn(5, 2, move || {
+            i += 1;
+            ScalarPoint(i)
+        });
+        let flat: Vec<u64> = stream.flatten().map(|p| p.0).collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5]);
     }
 }

@@ -1,0 +1,86 @@
+//! Serving queries in batches: the amortized path for query streams.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! A serving system doesn't answer one query — it answers a stream of them
+//! against one loaded cluster. This example serves the same 64-query stream
+//! twice: sequentially (one election and one engine run per query, the
+//! paper's per-query cost model) and batched through `query_batch` (one
+//! election, one engine run, all queries multiplexed over the shared
+//! links), then compares the per-query round bill.
+
+use knn_repro::prelude::*;
+
+fn main() {
+    let k = 8;
+    let ell = 64;
+    let total = 64;
+    let shards = ScalarWorkload { per_machine: 1 << 14, lo: 0, hi: 1 << 32 }.generate(k, 42);
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(7)
+        .election(ElectionKind::Star) // pay for real elections, then amortize them
+        .build();
+    cluster.load_shards(shards).expect("k shards for k machines");
+    println!(
+        "cluster: {} machines, {} points; serving {total} queries at ell = {ell}\n",
+        cluster.k(),
+        cluster.total_points()
+    );
+
+    // The same deterministic query stream, replayed at two batch sizes.
+    let queries: Vec<ScalarPoint> =
+        QueryStream::scalar(total, total, 0, 1 << 32, 99).next().unwrap();
+
+    // Sequential serving: every query pays the full fixed cost.
+    let mut seq_rounds = 0u64;
+    let mut seq_elections = 0u64;
+    let mut seq_answers = Vec::new();
+    for q in &queries {
+        let ans = cluster.query(q, ell).expect("query");
+        seq_rounds += ans.metrics.rounds;
+        seq_rounds += ans.election_metrics.as_ref().map_or(0, |em| em.rounds);
+        seq_elections += u64::from(ans.election_metrics.is_some());
+        seq_answers.push(ans);
+    }
+    println!(
+        "sequential: {seq_rounds} rounds total ({:.2}/query), {seq_elections} elections",
+        seq_rounds as f64 / total as f64
+    );
+
+    // Batched serving: one election, one engine run, pipelined instances.
+    let batch = cluster.query_batch(&queries, ell).expect("batch");
+    let em = batch.election_metrics.as_ref().expect("one election ran");
+    let batch_rounds = batch.metrics.rounds + em.rounds;
+    println!(
+        "batched:    {batch_rounds} rounds total ({:.2}/query), 1 election",
+        batch_rounds as f64 / total as f64
+    );
+
+    // Same answers, by construction.
+    for (j, solo) in seq_answers.iter().enumerate() {
+        assert_eq!(batch.answers[j].neighbors, solo.neighbors, "query {j}");
+    }
+    println!(
+        "\nidentical answers; batching cut rounds/query by {:.1}x",
+        seq_rounds as f64 / batch_rounds as f64
+    );
+
+    // Per-query attribution survives the sharing: each answer still knows
+    // its own traffic and completion round.
+    let first = &batch.answers[0];
+    let last = &batch.answers[total - 1];
+    println!(
+        "attribution: query 0 used {} msgs / {} bits, done at round {}; \
+         query {} used {} msgs / {} bits, done at round {}",
+        first.metrics.messages,
+        first.metrics.bits,
+        first.metrics.rounds,
+        total - 1,
+        last.metrics.messages,
+        last.metrics.bits,
+        last.metrics.rounds,
+    );
+}

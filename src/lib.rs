@@ -26,13 +26,15 @@ pub use knn_workloads as workloads;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
-    pub use kmachine::{BandwidthMode, Engine, NetConfig, RunMetrics};
-    pub use knn_core::cluster::{KnnAnswer, KnnCluster, Neighbor};
+    pub use kmachine::{BandwidthMode, Engine, NetConfig, RunMetrics, TagMetrics};
+    pub use knn_core::cluster::{BatchAnswer, KnnAnswer, KnnCluster, Neighbor};
+    pub use knn_core::local::IndexedPoint;
     pub use knn_core::ml::{KnnClassifier, KnnRegressor};
     pub use knn_core::runner::{Algorithm, ElectionKind, QueryOptions};
+    pub use knn_core::session::QuerySession;
     pub use knn_points::{
         Dataset, Dist, DistKey, IdAssigner, Label, Metric, Point, PointId, Record, ScalarPoint,
         VecPoint,
     };
-    pub use knn_workloads::{GaussianMixture, PartitionStrategy, ScalarWorkload};
+    pub use knn_workloads::{GaussianMixture, PartitionStrategy, QueryStream, ScalarWorkload};
 }
