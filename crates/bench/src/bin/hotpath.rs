@@ -1,0 +1,483 @@
+//! **Engine hot path + real parallelism** — the wall-clock bench backing
+//! the work-stealing rayon shim and the allocation-lean engine loop.
+//!
+//! Three sections, one JSON report (`results/hotpath.{csv,json}`):
+//!
+//! 1. **Workload-generation speedup vs pool size.** The same
+//!    [`ScalarWorkload`] is generated under each requested pool size
+//!    (`--pools`, default `1,2,4`); the datasets are asserted bit-identical
+//!    (pool size may only change the wall clock, never the bytes) and the
+//!    speedup over pool size 1 is reported. When the host actually has ≥ 4
+//!    CPUs, a ≥ 2× speedup at pool size ≥ 4 is asserted; on smaller hosts
+//!    the ratio is reported but not enforced (you cannot buy parallelism
+//!    the kernel doesn't offer).
+//! 2. **Engine loop rounds/sec + allocations.** A bandwidth-bound all-pairs
+//!    streaming protocol is pushed through both engines; the bin reports
+//!    simulated rounds per second of wall clock and — via a counting global
+//!    allocator — heap allocations per round, the number the dense link
+//!    lattice and buffer reuse drive down.
+//! 3. **Transport micro: dense lattice vs `HashMap` links.** The engines'
+//!    per-round transport loop (push one wave of envelopes, drain every
+//!    link at budget `B` until empty) is replayed over the dense
+//!    `Vec<LinkFifo>` lattice the engines now use and over the
+//!    `HashMap<(dst, src), LinkFifo>` they used before. The lattice's
+//!    rounds/sec must be no worse than the recorded HashMap baseline
+//!    (asserted with a 10% noise margin).
+//!
+//! `--paper-full` additionally generates the paper's §3 full-scale
+//! configuration (2²² points per machine) and times it, proving the
+//! configuration pushes through generation + load.
+//!
+//! ```text
+//! cargo run -p knn-bench --release --bin hotpath --
+//!     [--k 8] [--per-machine 262144] [--pools 1,2,4] [--stream 2048]
+//!     [--waves 64] [--seed 7] [--paper-full]
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use kmachine::{
+    engine::{run_sync, run_threaded},
+    BandwidthMode, Ctx, Envelope, LinkFifo, NetConfig, Payload, Protocol, Step,
+};
+use knn_bench::args::Args;
+use knn_bench::table::Table;
+use knn_bench::{write_csv, write_json};
+use knn_workloads::ScalarWorkload;
+use rayon::ThreadPoolBuilder;
+
+/// System allocator wrapped with an allocation counter, so the engine rows
+/// can report allocations per simulated round.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`; the counter has no safety impact.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Every machine streams `n` 64-bit values to every other machine under an
+/// enforced per-link budget — the bandwidth-bound all-pairs traffic shape
+/// that keeps every FIFO of the lattice busy for many rounds.
+struct AllPairsStream {
+    n: u64,
+    expected: u64,
+    received: u64,
+    checksum: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Word(u64);
+
+impl Payload for Word {
+    fn size_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl Protocol for AllPairsStream {
+    type Msg = Word;
+    type Output = u64;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Word>) -> Step<u64> {
+        if ctx.round() == 0 {
+            for v in 0..self.n {
+                for dst in 0..ctx.k() {
+                    if dst != ctx.id() {
+                        ctx.send(dst, Word(v));
+                    }
+                }
+            }
+        }
+        for env in ctx.inbox() {
+            self.received += 1;
+            self.checksum = self.checksum.wrapping_add(env.msg.0);
+        }
+        if self.received == self.expected {
+            Step::Done(self.checksum)
+        } else {
+            Step::Continue
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GenRow {
+    pool: usize,
+    seconds: f64,
+    speedup_vs_pool1: f64,
+}
+
+#[derive(Debug)]
+struct EngineRow {
+    engine: String,
+    rounds: u64,
+    seconds: f64,
+    rounds_per_sec: f64,
+    allocs_per_round: f64,
+}
+
+#[derive(Debug)]
+struct TransportRow {
+    links: String,
+    rounds: u64,
+    seconds: f64,
+    rounds_per_sec: f64,
+}
+
+// Consumed through its `Debug` form by the serde shim's `write_json`.
+#[allow(dead_code)]
+#[derive(Debug)]
+struct Report {
+    k: usize,
+    per_machine: usize,
+    host_cpus: usize,
+    generation: Vec<GenRow>,
+    engine: Vec<EngineRow>,
+    transport: Vec<TransportRow>,
+    paper_full_seconds: Option<f64>,
+}
+
+/// Drain-until-empty over the dense lattice the engines use.
+fn transport_lattice(k: usize, waves: usize, per_link: usize, budget: u64) -> (u64, f64) {
+    let mut links: Vec<LinkFifo<Word>> = (0..k * k).map(|_| LinkFifo::default()).collect();
+    let mut out: Vec<Envelope<Word>> = Vec::new();
+    let mut rounds = 0u64;
+    let start = Instant::now();
+    for _ in 0..waves {
+        push_wave_lattice(&mut links, k, per_link);
+        loop {
+            let mut busy = false;
+            for dst in 0..k {
+                for link in &mut links[dst * k..(dst + 1) * k] {
+                    if link.is_empty() {
+                        continue;
+                    }
+                    link.drain_round(budget, &mut out);
+                    busy = true;
+                }
+            }
+            out.clear();
+            if !busy {
+                break;
+            }
+            rounds += 1;
+        }
+    }
+    (rounds, start.elapsed().as_secs_f64())
+}
+
+fn push_wave_lattice(links: &mut [LinkFifo<Word>], k: usize, per_link: usize) {
+    for src in 0..k {
+        for dst in 0..k {
+            if dst == src {
+                continue;
+            }
+            for seq in 0..per_link {
+                let env =
+                    Envelope { src, dst, sent_round: 0, seq: seq as u64, msg: Word(seq as u64) };
+                links[dst * k + src].push(env, 64);
+            }
+        }
+    }
+}
+
+/// The same drain loop over the `HashMap<(dst, src), LinkFifo>` the engines
+/// used before the dense lattice — the recorded baseline.
+fn transport_hashmap(k: usize, waves: usize, per_link: usize, budget: u64) -> (u64, f64) {
+    let mut links: HashMap<(usize, usize), LinkFifo<Word>> = HashMap::new();
+    let mut out: Vec<Envelope<Word>> = Vec::new();
+    let mut rounds = 0u64;
+    let start = Instant::now();
+    for _ in 0..waves {
+        for src in 0..k {
+            for dst in 0..k {
+                if dst == src {
+                    continue;
+                }
+                for seq in 0..per_link {
+                    let env = Envelope {
+                        src,
+                        dst,
+                        sent_round: 0,
+                        seq: seq as u64,
+                        msg: Word(seq as u64),
+                    };
+                    links.entry((dst, src)).or_default().push(env, 64);
+                }
+            }
+        }
+        loop {
+            let mut busy = false;
+            for link in links.values_mut() {
+                if link.is_empty() {
+                    continue;
+                }
+                link.drain_round(budget, &mut out);
+                busy = true;
+            }
+            out.clear();
+            links.retain(|_, l| !l.is_empty());
+            if !busy {
+                break;
+            }
+            rounds += 1;
+        }
+    }
+    (rounds, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = Args::parse();
+    let k = args.get_usize("k", 8);
+    let per_machine = args.get_usize("per-machine", 1 << 18);
+    let pools = args.get_list("pools", &[1, 2, 4]);
+    let stream = args.get_u64("stream", 2048);
+    let waves = args.get_usize("waves", 64);
+    let seed = args.get_u64("seed", 7);
+    let paper_full = args.has("paper-full");
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+
+    println!(
+        "== Engine hot path: k = {k}, {per_machine} pts/machine, host CPUs = {host_cpus} ==\n"
+    );
+
+    // -- Section 1: generation speedup vs pool size --------------------------
+    // Speedups are always relative to pool size 1, so the reference run is
+    // prepended when the requested list omits it.
+    let mut pools = pools;
+    if pools.first() != Some(&1) {
+        pools.retain(|&p| p != 1);
+        pools.insert(0, 1);
+    }
+    let workload = ScalarWorkload { per_machine, lo: 0, hi: 1 << 32 };
+    let mut gen_rows: Vec<GenRow> = Vec::new();
+    let mut reference = None;
+    let mut t1 = None;
+    for &pool in &pools {
+        let handle = ThreadPoolBuilder::new().num_threads(pool).build().expect("pool");
+        // Min of three repetitions: scoped-thread startup and scheduler
+        // noise on shared CI runners would otherwise dominate the ratio.
+        let mut seconds = f64::INFINITY;
+        let mut shards = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            shards = Some(handle.install(|| workload.generate(k, seed)));
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+        }
+        let shards = shards.expect("three repetitions ran");
+        match &reference {
+            None => {
+                t1 = Some(seconds);
+                reference = Some(shards);
+            }
+            Some(reference) => assert_eq!(
+                reference, &shards,
+                "generation must be bit-identical at every pool size (pool {pool})"
+            ),
+        }
+        let speedup = t1.expect("first pool row recorded") / seconds.max(1e-12);
+        gen_rows.push(GenRow { pool, seconds, speedup_vs_pool1: speedup });
+    }
+
+    let mut gen_table = Table::new(&["pool", "seconds", "speedup"]);
+    for r in &gen_rows {
+        gen_table.row(vec![
+            r.pool.to_string(),
+            format!("{:.3}", r.seconds),
+            format!("{:.2}x", r.speedup_vs_pool1),
+        ]);
+    }
+    println!("-- workload generation ({k} machines x {per_machine} points) --");
+    gen_table.print();
+
+    // The ISSUE's acceptance bar: >= 2x at pool >= 4. Only enforceable when
+    // the kernel actually offers >= 4 CPUs.
+    if let Some(best) = gen_rows
+        .iter()
+        .filter(|r| r.pool >= 4)
+        .map(|r| r.speedup_vs_pool1)
+        .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+    {
+        if host_cpus >= 4 {
+            assert!(
+                best >= 2.0,
+                "expected >= 2x generation speedup at pool >= 4 on a {host_cpus}-CPU host, \
+                 got {best:.2}x"
+            );
+            println!("\nspeedup check: {best:.2}x at pool >= 4 (>= 2x required) -> ok");
+        } else {
+            println!(
+                "\nspeedup check skipped: host has {host_cpus} CPU(s), best pool>=4 speedup \
+                 {best:.2}x reported unenforced"
+            );
+        }
+    }
+
+    // -- Section 2: engine loop rounds/sec + allocations ---------------------
+    let expected = stream * (k as u64 - 1);
+    let cfg = NetConfig::new(k)
+        .with_seed(seed)
+        .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 512 })
+        .with_max_rounds(10_000_000);
+    let mk = || {
+        (0..k)
+            .map(|_| AllPairsStream { n: stream, expected, received: 0, checksum: 0 })
+            .collect::<Vec<_>>()
+    };
+    let mut engine_rows: Vec<EngineRow> = Vec::new();
+    for (name, threaded) in [("sync", false), ("threaded", true)] {
+        let before = allocations();
+        let start = Instant::now();
+        let out = if threaded {
+            run_threaded(&cfg, mk()).expect("threaded run")
+        } else {
+            run_sync(&cfg, mk()).expect("sync run")
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        let allocs = allocations() - before;
+        let rounds = out.metrics.rounds;
+        engine_rows.push(EngineRow {
+            engine: name.to_string(),
+            rounds,
+            seconds,
+            rounds_per_sec: rounds as f64 / seconds.max(1e-12),
+            allocs_per_round: allocs as f64 / rounds.max(1) as f64,
+        });
+    }
+
+    let mut engine_table = Table::new(&["engine", "rounds", "seconds", "rounds/s", "allocs/round"]);
+    for r in &engine_rows {
+        engine_table.row(vec![
+            r.engine.clone(),
+            r.rounds.to_string(),
+            format!("{:.3}", r.seconds),
+            format!("{:.0}", r.rounds_per_sec),
+            format!("{:.1}", r.allocs_per_round),
+        ]);
+    }
+    println!("\n-- engine loop (all-pairs stream of {stream} words, B = 512) --");
+    engine_table.print();
+
+    // -- Section 3: transport loop, dense lattice vs HashMap baseline --------
+    let budget = 512u64;
+    let per_link = 64usize;
+    let (hm_rounds, hm_secs) = transport_hashmap(k, waves, per_link, budget);
+    let (la_rounds, la_secs) = transport_lattice(k, waves, per_link, budget);
+    assert_eq!(la_rounds, hm_rounds, "both transports must simulate identical rounds");
+    let transport_rows = vec![
+        TransportRow {
+            links: "hashmap".into(),
+            rounds: hm_rounds,
+            seconds: hm_secs,
+            rounds_per_sec: hm_rounds as f64 / hm_secs.max(1e-12),
+        },
+        TransportRow {
+            links: "lattice".into(),
+            rounds: la_rounds,
+            seconds: la_secs,
+            rounds_per_sec: la_rounds as f64 / la_secs.max(1e-12),
+        },
+    ];
+    let mut transport_table = Table::new(&["links", "rounds", "seconds", "rounds/s"]);
+    for r in &transport_rows {
+        transport_table.row(vec![
+            r.links.clone(),
+            r.rounds.to_string(),
+            format!("{:.3}", r.seconds),
+            format!("{:.0}", r.rounds_per_sec),
+        ]);
+    }
+    println!("\n-- transport loop ({waves} waves x {per_link} msgs/link, B = {budget}) --");
+    transport_table.print();
+
+    let lattice_rps = transport_rows[1].rounds_per_sec;
+    let hashmap_rps = transport_rows[0].rounds_per_sec;
+    assert!(
+        lattice_rps >= hashmap_rps * 0.9,
+        "dense lattice transport ({lattice_rps:.0} rounds/s) regressed below the HashMap \
+         baseline ({hashmap_rps:.0} rounds/s)"
+    );
+    println!(
+        "\nlattice vs hashmap: {:.2}x rounds/sec -> {}",
+        lattice_rps / hashmap_rps.max(1e-12),
+        if lattice_rps >= hashmap_rps { "faster" } else { "within noise margin" }
+    );
+
+    // -- Optional: the paper's full-scale generation -------------------------
+    let paper_full_seconds = paper_full.then(|| {
+        let w = ScalarWorkload::paper_full();
+        let start = Instant::now();
+        let shards = w.generate(k, seed);
+        let seconds = start.elapsed().as_secs_f64();
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        println!("\npaper_full: generated {total} points ({k} x 2^22) in {seconds:.2}s");
+        assert_eq!(total, k << 22);
+        seconds
+    });
+
+    let report = Report {
+        k,
+        per_machine,
+        host_cpus,
+        generation: gen_rows,
+        engine: engine_rows,
+        transport: transport_rows,
+        paper_full_seconds,
+    };
+    let csv_rows: Vec<Vec<String>> = report
+        .generation
+        .iter()
+        .map(|r| {
+            vec![
+                "generation".to_string(),
+                r.pool.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.3}", r.speedup_vs_pool1),
+            ]
+        })
+        .chain(report.engine.iter().map(|r| {
+            vec![
+                format!("engine-{}", r.engine),
+                r.rounds.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.1}", r.rounds_per_sec),
+            ]
+        }))
+        .chain(report.transport.iter().map(|r| {
+            vec![
+                format!("transport-{}", r.links),
+                r.rounds.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.1}", r.rounds_per_sec),
+            ]
+        }))
+        .collect();
+    let csv = write_csv("hotpath", &["section", "param", "seconds", "value"], &csv_rows);
+    let json = write_json("hotpath", &report);
+    println!("\nwrote {} and {}", csv.display(), json.display());
+}

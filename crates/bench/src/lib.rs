@@ -11,6 +11,7 @@
 //! | `lemma23`        | Lemma 2.3: survivor distribution after pruning    |
 //! | `baselines`      | All algorithms: rounds / messages / bits          |
 //! | `throughput`     | Serving layer: batch size × algorithm sweep       |
+//! | `hotpath`        | Engine loop rounds/sec + allocations, pool-size speedup |
 //!
 //! plus Criterion micro-benchmarks of the sequential substrates
 //! (`cargo bench -p knn-bench`).

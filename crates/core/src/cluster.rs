@@ -236,11 +236,17 @@ impl<P: IndexedPoint> KnnCluster<P> {
     }
 
     fn load_shards_unchecked(&mut self, shards: Vec<Dataset<P>>) {
+        // Index construction is per-shard independent and embarrassingly
+        // parallel: the id→position maps and candidate-generation indices
+        // (sorted arrays / k-d trees) build concurrently on the rayon pool.
+        // Results are collected in shard order, so loading is deterministic
+        // at any pool size.
+        use rayon::prelude::*;
         self.index = shards
-            .iter()
+            .par_iter()
             .map(|d| d.records.iter().enumerate().map(|(i, r)| (r.id, i)).collect())
             .collect();
-        self.shard_indices = shards.iter().map(|d| P::build_index(&d.records)).collect();
+        self.shard_indices = shards.par_iter().map(|d| P::build_index(&d.records)).collect();
         self.shards = shards;
     }
 

@@ -1,6 +1,5 @@
 //! Deterministic sequential lockstep engine.
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -10,7 +9,7 @@ use crate::ctx::Ctx;
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
-use crate::message::{Envelope, MachineId};
+use crate::message::Envelope;
 use crate::metrics::RunMetrics;
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
@@ -41,13 +40,16 @@ pub fn run_sync<P: Protocol>(
     let mut metrics = RunMetrics::new(k);
     let mut rngs: Vec<StdRng> = (0..k).map(|i| machine_rng(cfg.seed, i)).collect();
     let mut seqs = vec![0u64; k];
-    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..k).map(|_| Vec::new()).collect();
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..k).map(|_| Vec::with_capacity(k)).collect();
     let mut outputs: Vec<Option<P::Output>> = (0..k).map(|_| None).collect();
-    // Keyed by (dst, src) so per-destination delivery iterates sources in
-    // ascending order — the same deterministic inbox order the threaded
-    // engine recreates by sorting.
-    let mut links: BTreeMap<(MachineId, MachineId), LinkFifo<P::Msg>> = BTreeMap::new();
-    let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
+    // Dense link lattice: slot `dst * k + src` holds the FIFO of the ordered
+    // link `src → dst`. Allocated once per run (a `VecDeque::new` does not
+    // allocate), so the per-round transport loop touches no allocator and no
+    // tree/hash nodes; per-destination delivery walks sources in ascending
+    // order — the same deterministic inbox order the threaded engine
+    // recreates by sorting. Memory is O(k²) FIFO headers (~40 B each).
+    let mut links: Vec<LinkFifo<P::Msg>> = (0..k * k).map(|_| LinkFifo::default()).collect();
+    let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
     let mut done_count = 0usize;
     let mut round: u64 = 0;
 
@@ -62,7 +64,9 @@ pub fn run_sync<P: Protocol>(
                 }
                 continue;
             }
-            inboxes[i].sort_by_key(|e| (e.src, e.seq));
+            // Keys (src, seq) are unique per delivery, so stability buys
+            // nothing — unstable sort avoids the temp-buffer allocation.
+            inboxes[i].sort_unstable_by_key(|e| (e.src, e.seq));
             let step = {
                 let mut ctx = Ctx {
                     id: i,
@@ -79,7 +83,7 @@ pub fn run_sync<P: Protocol>(
             for env in outbox.drain(..) {
                 let bits = env.msg.size_bits().max(1);
                 metrics.on_send(i, bits, env.msg.mux_tag());
-                links.entry((env.dst, env.src)).or_default().push(env, bits);
+                links[env.dst * k + env.src].push(env, bits);
                 sent_any = true;
             }
             if let Step::Done(out) = step {
@@ -93,17 +97,25 @@ pub fn run_sync<P: Protocol>(
             break;
         }
 
-        // Transport: each link drains one round of budget.
+        // Transport: each busy link drains one round of budget; idle links
+        // cost one emptiness check.
         let mut delivered_any = false;
-        for (&(dst, _src), link) in links.iter_mut() {
-            let before = inboxes[dst].len();
-            link.drain_round(budget, &mut inboxes[dst]);
-            delivered_any |= inboxes[dst].len() > before;
-            metrics.max_link_backlog_bits = metrics.max_link_backlog_bits.max(link.pending_bits());
+        let mut backlog_bits = 0u64;
+        for (dst, inbox) in inboxes.iter_mut().enumerate() {
+            let before = inbox.len();
+            for link in &mut links[dst * k..(dst + 1) * k] {
+                if link.is_empty() {
+                    continue;
+                }
+                link.drain_round(budget, inbox);
+                let pending = link.pending_bits();
+                metrics.max_link_backlog_bits = metrics.max_link_backlog_bits.max(pending);
+                backlog_bits += pending;
+            }
+            delivered_any |= inbox.len() > before;
         }
-        links.retain(|_, l| !l.is_empty());
 
-        if !sent_any && !delivered_any && !progressed && links.is_empty() {
+        if !sent_any && !delivered_any && !progressed && backlog_bits == 0 {
             return Err(EngineError::Stalled { round });
         }
         round += 1;

@@ -5,12 +5,21 @@
 //! 1. **decide** — thread 0 checks termination / stall / round-limit using
 //!    the counters committed by the previous round, and applies the optional
 //!    synthetic per-round latency;
-//! 2. **take** — every thread atomically takes its inbox (all takes complete
-//!    before anyone sends, so a round's deliveries can never mix with the
-//!    next round's);
+//! 2. **take** — every thread drains its column of the staging matrix into
+//!    its private inbox buffer (all takes complete before anyone sends, so a
+//!    round's deliveries can never mix with the next round's);
 //! 3. **compute + transport** — every thread runs its protocol, enqueues
-//!    sends on its private per-destination link FIFOs, and drains one round
-//!    of bandwidth budget from each FIFO into the recipients' inboxes.
+//!    sends on its private dense per-destination link row, and drains one
+//!    round of bandwidth budget from each busy FIFO into its own staging
+//!    slots.
+//!
+//! Delivery goes through a k×k **staging matrix**: slot `dst · k + src` is
+//! written only by thread `src` (during phase 3) and read only by thread
+//! `dst` (during phase 2 of the next round), with a barrier between — so
+//! every lock acquisition is uncontended, unlike a mutex-per-inbox design
+//! where all k−1 senders serialize on the recipient's lock. The slot `Vec`s
+//! and each thread's inbox buffer are drained with `append`, which moves the
+//! elements but keeps both allocations warm across rounds.
 //!
 //! Inboxes are sorted by `(src, seq)` before delivery to the protocol, so
 //! executions are bit-identical to [`run_sync`](super::run_sync) for
@@ -18,7 +27,6 @@
 //! genuinely runs in parallel, which is what the wall-clock experiments
 //! measure.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -39,7 +47,11 @@ use crate::rng::machine_rng;
 
 struct Shared<M> {
     barrier: Barrier,
-    inboxes: Vec<Mutex<Vec<Envelope<M>>>>,
+    /// k×k staging matrix: slot `dst * k + src` carries messages from `src`
+    /// to `dst` between one round's transport phase and the next round's
+    /// take phase. Single-writer / single-reader per slot, phases separated
+    /// by a barrier — the mutexes are never contended.
+    stage: Vec<Mutex<Vec<Envelope<M>>>>,
     stop: AtomicBool,
     error: Mutex<Option<EngineError>>,
     done_count: AtomicUsize,
@@ -72,7 +84,7 @@ pub fn run_threaded<P: Protocol>(
 
     let shared = Shared::<P::Msg> {
         barrier: Barrier::new(k),
-        inboxes: (0..k).map(|_| Mutex::new(Vec::new())).collect(),
+        stage: (0..k * k).map(|_| Mutex::new(Vec::new())).collect(),
         stop: AtomicBool::new(false),
         error: Mutex::new(None),
         done_count: AtomicUsize::new(0),
@@ -136,9 +148,12 @@ fn machine_main<P: Protocol>(
 ) {
     let mut rng = machine_rng(cfg.seed, id);
     let mut seq = 0u64;
-    let mut links: HashMap<MachineId, LinkFifo<P::Msg>> = HashMap::new();
-    let mut outbox: Vec<Envelope<P::Msg>> = Vec::new();
-    let mut stage: Vec<Envelope<P::Msg>> = Vec::new();
+    // Dense link row: `links[dst]` is this sender's FIFO toward `dst`
+    // (`links[id]` stays empty — the model has no self-loops). Allocated
+    // once, reused every round.
+    let mut links: Vec<LinkFifo<P::Msg>> = (0..k).map(|_| LinkFifo::default()).collect();
+    let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
+    let mut msgs: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
     let mut my_pending_bits = 0u64;
     // Thread-local per-tag totals, merged into the shared table once at
     // exit — the send path stays lock-free.
@@ -172,14 +187,23 @@ fn machine_main<P: Protocol>(
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let mut msgs = std::mem::take(&mut *shared.inboxes[id].lock());
+        // Take: drain this machine's column of the staging matrix into the
+        // reused inbox buffer (sources in ascending order; `append` keeps
+        // both allocations warm for the next round).
+        for src in 0..k {
+            if src != id {
+                msgs.append(&mut shared.stage[id * k + src].lock());
+            }
+        }
         shared.barrier.wait();
 
-        // Phase 3: compute + transport.
-        msgs.sort_by_key(|e| (e.src, e.seq));
+        // Phase 3: compute + transport. Keys (src, seq) are unique, so the
+        // unstable sort's lack of stability is unobservable.
+        msgs.sort_unstable_by_key(|e| (e.src, e.seq));
         if done || poisoned {
             if !msgs.is_empty() {
                 shared.delivered_after_done.fetch_add(msgs.len() as u64, Ordering::AcqRel);
+                msgs.clear();
             }
         } else {
             let step = {
@@ -195,6 +219,7 @@ fn machine_main<P: Protocol>(
                 };
                 catch_unwind(AssertUnwindSafe(|| proto.on_round(&mut ctx)))
             };
+            msgs.clear();
             match step {
                 Ok(Step::Continue) => {}
                 Ok(Step::Done(out)) => {
@@ -228,7 +253,7 @@ fn machine_main<P: Protocol>(
                     my_tags[idx].messages += 1;
                     my_tags[idx].bits += bits;
                 }
-                links.entry(env.dst).or_default().push(env, bits);
+                links[env.dst].push(env, bits);
                 sent += 1;
             }
             if sent > 0 {
@@ -237,18 +262,22 @@ fn machine_main<P: Protocol>(
             }
         }
 
+        // Transport: drain each busy link straight into this sender's own
+        // staging slots — uncontended locks, no intermediate buffer.
         let mut delivered_any = false;
         let mut now_pending = 0u64;
-        for (&dst, link) in links.iter_mut() {
-            if !link.is_empty() {
-                link.drain_round(budget, &mut stage);
-                if !stage.is_empty() {
-                    delivered_any = true;
-                    shared.inboxes[dst].lock().append(&mut stage);
-                }
-                shared.max_backlog.fetch_max(link.pending_bits(), Ordering::AcqRel);
+        for (dst, link) in links.iter_mut().enumerate() {
+            if link.is_empty() {
+                continue;
             }
-            now_pending += link.pending_bits();
+            let mut slot = shared.stage[dst * k + id].lock();
+            let before = slot.len();
+            link.drain_round(budget, &mut slot);
+            delivered_any |= slot.len() > before;
+            drop(slot);
+            let pending = link.pending_bits();
+            shared.max_backlog.fetch_max(pending, Ordering::AcqRel);
+            now_pending += pending;
         }
         if delivered_any {
             shared.activity.store(true, Ordering::Release);

@@ -90,6 +90,7 @@ pub use config::{BandwidthMode, NetConfig};
 pub use ctx::Ctx;
 pub use engine::{run_sync, run_threaded, Engine, RunOutcome};
 pub use error::EngineError;
+pub use link::LinkFifo;
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
 pub use metrics::{RunMetrics, TagMetrics};
 pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};

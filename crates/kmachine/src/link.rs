@@ -36,7 +36,14 @@ impl<M> LinkFifo<M> {
 
     /// Drain one round's worth of budget, appending fully-transmitted
     /// messages to `out`. Partial progress on the head message is retained.
+    ///
+    /// Idle links return immediately — the engines additionally use
+    /// [`LinkFifo::is_empty`] to skip them without a call at all, so a
+    /// mostly-quiet k² lattice costs one flag check per link per round.
     pub fn drain_round(&mut self, mut budget: u64, out: &mut Vec<Envelope<M>>) {
+        if self.queue.is_empty() {
+            return;
+        }
         while budget > 0 {
             let Some(front) = self.queue.front_mut() else { break };
             if front.1 <= budget {

@@ -76,6 +76,12 @@ pub struct MuxProtocol<P: Protocol> {
     outputs: Vec<Option<P::Output>>,
     done_round: Vec<u64>,
     remaining: usize,
+    /// Per-tag demux buffers, cleared and refilled every round — kept in the
+    /// struct so the per-round hot path reuses their allocations instead of
+    /// building m fresh `Vec`s per machine per round.
+    parts: Vec<Vec<Envelope<P::Msg>>>,
+    /// Scratch outbox handed to each instance's inner `Ctx`, same reuse.
+    inner_outbox: Vec<Envelope<P::Msg>>,
 }
 
 impl<P: Protocol> MuxProtocol<P> {
@@ -100,6 +106,8 @@ impl<P: Protocol> MuxProtocol<P> {
             outputs: (0..m).map(|_| None).collect(),
             done_round: vec![0; m],
             remaining: m,
+            parts: (0..m).map(|_| Vec::new()).collect(),
+            inner_outbox: Vec::new(),
         }
     }
 
@@ -129,14 +137,17 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
             }
         }
 
-        // Demultiplex this round's inbox by tag, preserving the engine's
-        // deterministic (src, seq) delivery order within each instance.
-        let mut parts: Vec<Vec<Envelope<P::Msg>>> = (0..m).map(|_| Vec::new()).collect();
+        // Demultiplex this round's inbox by tag into the reused per-tag
+        // buffers, preserving the engine's deterministic (src, seq) delivery
+        // order within each instance.
+        for part in &mut self.parts {
+            part.clear();
+        }
         for env in ctx.inbox() {
             let tag = env.msg.tag as usize;
             assert!(tag < m, "message for unknown mux tag {tag} (m = {m})");
             if self.slots[tag].is_some() {
-                parts[tag].push(Envelope {
+                self.parts[tag].push(Envelope {
                     src: env.src,
                     dst: env.dst,
                     sent_round: env.sent_round,
@@ -146,8 +157,8 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
             }
         }
 
-        let mut inner_outbox: Vec<Envelope<P::Msg>> = Vec::new();
-        for (tag, part) in parts.iter().enumerate() {
+        let inner_outbox = &mut self.inner_outbox;
+        for (tag, part) in self.parts.iter().enumerate() {
             let Some(slot) = self.slots[tag].as_mut() else { continue };
             let step = {
                 let mut inner = Ctx {
@@ -155,7 +166,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                     k: ctx.k,
                     round: ctx.round,
                     inbox: part,
-                    outbox: &mut inner_outbox,
+                    outbox: inner_outbox,
                     rng: &mut slot.rng,
                     next_seq: &mut slot.seq,
                 };

@@ -28,4 +28,4 @@ pub mod vector;
 pub use partition::PartitionStrategy;
 pub use query::QueryStream;
 pub use scalar::ScalarWorkload;
-pub use vector::GaussianMixture;
+pub use vector::{GaussianMixture, GEN_CHUNK};

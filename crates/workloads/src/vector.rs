@@ -1,8 +1,43 @@
 //! Labeled vector workloads for the ML examples.
+//!
+//! Generation is parallel: points are produced in fixed-size chunks of
+//! [`GEN_CHUNK`], each chunk drawing from its own RNG stream derived from
+//! `(seed, chunk index)`. Chunk boundaries never depend on the pool size,
+//! so the generated dataset is byte-identical whether rayon runs on 1
+//! thread or 64 — only the wall clock changes.
 
 use knn_points::{Label, VecPoint};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Points per generation chunk (and per-chunk RNG stream). Fixed — never
+/// derived from the pool size — so outputs are pool-size-invariant.
+pub const GEN_CHUNK: usize = 4096;
+
+/// Run `fill` over `[0, n)` in parallel [`GEN_CHUNK`]-sized chunks, each
+/// with a private RNG stream derived from `(seed, chunk index)`, and
+/// concatenate the per-chunk outputs in index order.
+fn par_chunks<T: Send>(
+    n: usize,
+    seed: u64,
+    fill: impl Fn(&mut StdRng, std::ops::Range<usize>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let chunks = n.div_ceil(GEN_CHUNK);
+    (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            // SplitMix64-style odd multiplier decorrelates the per-chunk
+            // streams from each other and from the center stream.
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            fill(&mut rng, c * GEN_CHUNK..((c + 1) * GEN_CHUNK).min(n))
+        })
+        .collect::<Vec<Vec<T>>>()
+        .into_iter()
+        .flatten()
+        .collect()
+}
 
 /// A mixture of isotropic Gaussian clusters in `R^d`, labeled by cluster —
 /// the classic synthetic benchmark for a k-NN *classifier* (the paper's
@@ -58,39 +93,43 @@ impl GaussianMixture {
     ) -> Vec<(VecPoint, Label)> {
         assert!(self.clusters > 0 && self.dims > 0, "degenerate mixture");
         let centers = self.centers(centers_seed);
-        let mut rng = StdRng::seed_from_u64(noise_seed ^ 0x2545_F491_4F6C_DD1D);
-        (0..n)
-            .map(|i| {
-                let c = i % self.clusters;
-                let coords: Vec<f64> =
-                    centers[c].0.iter().map(|&mu| mu + self.spread * gaussian(&mut rng)).collect();
-                (VecPoint::new(coords), Label::Class(c as u32))
-            })
-            .collect()
+        par_chunks(n, noise_seed ^ 0x2545_F491_4F6C_DD1D, |rng, range| {
+            range
+                .map(|i| {
+                    let c = i % self.clusters;
+                    let coords: Vec<f64> =
+                        centers[c].0.iter().map(|&mu| mu + self.spread * gaussian(rng)).collect();
+                    (VecPoint::new(coords), Label::Class(c as u32))
+                })
+                .collect()
+        })
     }
 
     /// Draw `n` points with a *regression* target: the value is a smooth
     /// function (sum of coordinates) plus Gaussian noise.
     pub fn generate_regression(&self, n: usize, noise: f64, seed: u64) -> Vec<(VecPoint, Label)> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E6C_63D0_876A_9D7B);
-        (0..n)
-            .map(|_| {
-                let coords: Vec<f64> =
-                    (0..self.dims).map(|_| rng.random_range(-self.range..self.range)).collect();
-                let target: f64 = coords.iter().sum::<f64>() + noise * gaussian(&mut rng);
+        let dims = self.dims;
+        let range = self.range;
+        par_chunks(n, seed ^ 0x9E6C_63D0_876A_9D7B, |rng, idx| {
+            idx.map(|_| {
+                let coords: Vec<f64> = (0..dims).map(|_| rng.random_range(-range..range)).collect();
+                let target: f64 = coords.iter().sum::<f64>() + noise * gaussian(rng);
                 (VecPoint::new(coords), Label::Value(target))
             })
             .collect()
+        })
     }
 }
 
 /// Uniform points in the cube `[lo, hi]^dims`.
 pub fn uniform_cube(n: usize, dims: usize, lo: f64, hi: f64, seed: u64) -> Vec<VecPoint> {
     assert!(lo < hi, "empty cube");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x8533_41F0_4A1C_2E09);
-    (0..n)
-        .map(|_| VecPoint::new((0..dims).map(|_| rng.random_range(lo..hi)).collect::<Vec<f64>>()))
+    par_chunks(n, seed ^ 0x8533_41F0_4A1C_2E09, |rng, idx| {
+        idx.map(|_| {
+            VecPoint::new((0..dims).map(|_| rng.random_range(lo..hi)).collect::<Vec<f64>>())
+        })
         .collect()
+    })
 }
 
 /// A standard normal sample via Box–Muller (the offline crate set has no
@@ -162,6 +201,23 @@ mod tests {
         let gm = GaussianMixture::default();
         assert_eq!(gm.generate(50, 5), gm.generate(50, 5));
         assert_ne!(gm.generate(50, 5), gm.generate(50, 6));
+    }
+
+    #[test]
+    fn generation_is_pool_size_invariant() {
+        // Chunk boundaries are fixed, so the dataset is byte-identical at
+        // any pool size — spanning a chunk boundary on purpose.
+        let n = GEN_CHUNK + 100;
+        let gm = GaussianMixture::default();
+        let pool = |t: usize| rayon::ThreadPoolBuilder::new().num_threads(t).build().expect("pool");
+        let base = pool(1).install(|| gm.generate(n, 5));
+        let base_reg = pool(1).install(|| gm.generate_regression(n, 0.3, 5));
+        let base_cube = pool(1).install(|| uniform_cube(n, 3, -1.0, 1.0, 5));
+        for t in [2usize, 8] {
+            assert_eq!(pool(t).install(|| gm.generate(n, 5)), base, "pool {t}");
+            assert_eq!(pool(t).install(|| gm.generate_regression(n, 0.3, 5)), base_reg);
+            assert_eq!(pool(t).install(|| uniform_cube(n, 3, -1.0, 1.0, 5)), base_cube);
+        }
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Full-paper-scale smoke: the §3 experimental configuration (2²² points
+//! per machine) pushed through generation, load, and one Simple query.
+//!
+//! Ignored by default — it allocates gigabytes and takes tens of seconds —
+//! run it explicitly with:
+//!
+//! ```text
+//! cargo test --release --test scale_paper_full -- --ignored
+//! ```
+
+use knn_core::cluster::KnnCluster;
+use knn_core::runner::Algorithm;
+use knn_points::ScalarPoint;
+use knn_workloads::ScalarWorkload;
+
+#[test]
+#[ignore = "paper-scale: ~17M points, run with --release -- --ignored"]
+fn paper_full_generation_and_one_simple_query() {
+    let k = 4;
+    let ell = 64;
+    let w = ScalarWorkload::paper_full();
+    assert_eq!(w.per_machine, 1 << 22);
+
+    let shards = w.generate(k, 7);
+    assert_eq!(shards.len(), k);
+    let total: usize = shards.iter().map(|s| s.len()).sum();
+    assert_eq!(total, k << 22, "every machine generates 2^22 points");
+
+    let mut cluster: KnnCluster = KnnCluster::builder().machines(k).seed(7).build();
+    cluster.load_shards(shards).expect("shard count matches k");
+    assert_eq!(cluster.total_points(), k << 22);
+
+    let q = ScalarPoint(1 << 31);
+    let ans = cluster.query_with(Algorithm::Simple, &q, ell).expect("query");
+    assert_eq!(ans.neighbors.len(), ell);
+    assert!(
+        ans.neighbors.windows(2).all(|w| (w[0].dist, w[0].id) < (w[1].dist, w[1].id)),
+        "neighbors ascend by (distance, id)"
+    );
+    // At 2^24 uniform points in [0, 2^32) the expected gap is 2^8, so the
+    // 64th-nearest neighbor sits within ~2^13 of the query with enormous
+    // probability — a loose sanity bound that the answer is genuinely the
+    // global top-ell, not one shard's.
+    assert!(
+        ans.neighbors.last().expect("ell neighbors").dist.as_u64() < 1 << 16,
+        "paper_full answers must be globally dense"
+    );
+    let machines: std::collections::HashSet<_> = ans.neighbors.iter().map(|n| n.machine).collect();
+    assert!(machines.len() > 1, "a global answer draws from several shards");
+}
