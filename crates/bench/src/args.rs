@@ -64,6 +64,11 @@ impl Args {
         })
     }
 
+    /// A string flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
     /// A comma-separated list of integers.
     pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
         self.flags.get(key).map_or_else(
@@ -99,6 +104,8 @@ mod tests {
         assert_eq!(a.get_list("ks", &[9]), vec![9]);
         assert_eq!(a.get_u64("seed", 7), 7);
         assert_eq!(a.get_f64("alpha", 0.5), 0.5);
+        assert_eq!(parse("--engines sync,event").get_str("engines", "sync"), "sync,event");
+        assert_eq!(parse("").get_str("engines", "sync"), "sync");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! **Engine hot path + real parallelism** — the wall-clock bench backing
-//! the work-stealing rayon shim and the allocation-lean engine loop.
+//! the work-stealing rayon shim, the allocation-lean engine loop, and the
+//! barrier-free event engine.
 //!
 //! Three sections, one JSON report (`results/hotpath.{csv,json}`):
 //!
@@ -7,26 +8,31 @@
 //!    [`ScalarWorkload`] is generated under each requested pool size
 //!    (`--pools`, default `1,2,4`); the datasets are asserted bit-identical
 //!    (pool size may only change the wall clock, never the bytes) and the
-//!    speedup over pool size 1 is reported. When the host actually has ≥ 4
-//!    CPUs, a ≥ 2× speedup at pool size ≥ 4 is asserted; on smaller hosts
-//!    the ratio is reported but not enforced (you cannot buy parallelism
-//!    the kernel doesn't offer).
+//!    speedup over pool size 1 is reported, after an untimed warm-up run so
+//!    cold caches cannot masquerade as parallel speedup. Speedup assertions
+//!    are gated on the **recorded** host CPU count: a ≥ 2× speedup at pool
+//!    ≥ 4 is enforced only when the host actually offers ≥ 4 CPUs (you
+//!    cannot buy parallelism the kernel doesn't offer, and a 1-CPU runner
+//!    must not assert impossible parallelism).
 //! 2. **Engine loop rounds/sec + allocations.** A bandwidth-bound all-pairs
-//!    streaming protocol is pushed through both engines; the bin reports
-//!    simulated rounds per second of wall clock and — via a counting global
-//!    allocator — heap allocations per round, the number the dense link
-//!    lattice and buffer reuse drive down.
+//!    streaming protocol is pushed through all three engines — sync,
+//!    threaded (k OS threads, 3 barriers/round), and event (per-link
+//!    dependency scheduling on a worker pool, one row per `--pools` entry).
+//!    Each row reports simulated rounds per second (best of
+//!    `ENGINE_REPS` repetitions) and — via a counting global allocator —
+//!    heap allocations per round. Asserted: the event engine at one worker
+//!    stays within 10% of sync (the scheduler must cost only watermark
+//!    bookkeeping), and at pool ≥ 2 it beats the threaded engine's
+//!    rounds/sec (the whole point of removing the barrier).
 //! 3. **Transport micro: dense lattice vs `HashMap` links.** The engines'
-//!    per-round transport loop (push one wave of envelopes, drain every
-//!    link at budget `B` until empty) is replayed over the dense
-//!    `Vec<LinkFifo>` lattice the engines now use and over the
-//!    `HashMap<(dst, src), LinkFifo>` they used before. The lattice's
-//!    rounds/sec must be no worse than the recorded HashMap baseline
-//!    (asserted with a 10% noise margin).
+//!    per-round transport loop is replayed over the dense `Vec<LinkFifo>`
+//!    lattice the engines use and over the `HashMap<(dst, src), LinkFifo>`
+//!    they used before; the lattice must be no worse (10% noise margin).
 //!
-//! `--paper-full` additionally generates the paper's §3 full-scale
-//! configuration (2²² points per machine) and times it, proving the
-//! configuration pushes through generation + load.
+//! `--paper-full` additionally runs the §3 full-scale path from
+//! `tests/scale_paper_full.rs` — generate 4×2²² points, load the cluster,
+//! answer one Simple query — and records the generation + load wall time
+//! once and the query wall time **per engine**.
 //!
 //! ```text
 //! cargo run -p knn-bench --release --bin hotpath --
@@ -40,14 +46,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use kmachine::{
-    engine::{run_sync, run_threaded},
+    engine::{run_event, run_sync, run_threaded},
     BandwidthMode, Ctx, Envelope, LinkFifo, NetConfig, Payload, Protocol, Step,
 };
 use knn_bench::args::Args;
 use knn_bench::table::Table;
 use knn_bench::{write_csv, write_json};
+use knn_core::cluster::KnnCluster;
+use knn_core::runner::Algorithm;
+use knn_points::ScalarPoint;
 use knn_workloads::ScalarWorkload;
 use rayon::ThreadPoolBuilder;
+
+/// Repetitions per engine row; the minimum is reported, since scheduler
+/// noise on shared 1-CPU CI runners dominates single measurements.
+const ENGINE_REPS: usize = 5;
 
 /// System allocator wrapped with an allocation counter, so the engine rows
 /// can report allocations per simulated round.
@@ -134,6 +147,7 @@ struct GenRow {
 #[derive(Debug)]
 struct EngineRow {
     engine: String,
+    pool: usize,
     rounds: u64,
     seconds: f64,
     rounds_per_sec: f64,
@@ -148,17 +162,39 @@ struct TransportRow {
     rounds_per_sec: f64,
 }
 
+#[derive(Debug)]
+struct PaperFullQueryRow {
+    engine: String,
+    seconds: f64,
+    rounds: u64,
+}
+
+// Consumed through its `Debug` form by the serde shim's `write_json`.
+#[allow(dead_code)]
+#[derive(Debug)]
+struct PaperFullReport {
+    gen_seconds: f64,
+    load_seconds: f64,
+    total_points: usize,
+    query: Vec<PaperFullQueryRow>,
+}
+
 // Consumed through its `Debug` form by the serde shim's `write_json`.
 #[allow(dead_code)]
 #[derive(Debug)]
 struct Report {
     k: usize,
     per_machine: usize,
+    /// CPUs the kernel offers this process, detected once at startup; every
+    /// parallel-speedup assertion below gates on this recorded value.
     host_cpus: usize,
+    /// Whether the generation-speedup bar was enforced (host_cpus ≥ 4) or
+    /// merely reported.
+    gen_speedup_enforced: bool,
     generation: Vec<GenRow>,
     engine: Vec<EngineRow>,
     transport: Vec<TransportRow>,
-    paper_full_seconds: Option<f64>,
+    paper_full: Option<PaperFullReport>,
 }
 
 /// Drain-until-empty over the dense lattice the engines use.
@@ -259,8 +295,9 @@ fn main() {
     let waves = args.get_usize("waves", 64);
     let seed = args.get_u64("seed", 7);
     let paper_full = args.has("paper-full");
-    let host_cpus =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    // Detected exactly once; recorded in the report and used to gate every
+    // parallel-speedup assertion below.
+    let host_cpus = knn_bench::host_cpus();
 
     println!(
         "== Engine hot path: k = {k}, {per_machine} pts/machine, host CPUs = {host_cpus} ==\n"
@@ -275,6 +312,9 @@ fn main() {
         pools.insert(0, 1);
     }
     let workload = ScalarWorkload { per_machine, lo: 0, hi: 1 << 32 };
+    // Warm-up: page in the allocator and caches before the timed pool-1
+    // reference, so first-touch costs don't inflate later pools' "speedup".
+    let _ = workload.generate(k, seed);
     let mut gen_rows: Vec<GenRow> = Vec::new();
     let mut reference = None;
     let mut t1 = None;
@@ -315,15 +355,19 @@ fn main() {
     println!("-- workload generation ({k} machines x {per_machine} points) --");
     gen_table.print();
 
-    // The ISSUE's acceptance bar: >= 2x at pool >= 4. Only enforceable when
-    // the kernel actually offers >= 4 CPUs.
+    // The speedup bar: >= 2x at pool >= 4, enforceable only when the
+    // recorded host CPU count actually offers >= 4 CPUs. On smaller hosts
+    // the measured ratios are reported but explicitly flagged as noise —
+    // a 1-CPU runner printing a 2x "speedup" is timing jitter, not
+    // parallelism.
+    let gen_speedup_enforced = host_cpus >= 4;
     if let Some(best) = gen_rows
         .iter()
         .filter(|r| r.pool >= 4)
         .map(|r| r.speedup_vs_pool1)
         .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
     {
-        if host_cpus >= 4 {
+        if gen_speedup_enforced {
             assert!(
                 best >= 2.0,
                 "expected >= 2x generation speedup at pool >= 4 on a {host_cpus}-CPU host, \
@@ -332,8 +376,8 @@ fn main() {
             println!("\nspeedup check: {best:.2}x at pool >= 4 (>= 2x required) -> ok");
         } else {
             println!(
-                "\nspeedup check skipped: host has {host_cpus} CPU(s), best pool>=4 speedup \
-                 {best:.2}x reported unenforced"
+                "\nspeedup check skipped: host has {host_cpus} CPU(s); pool>=4 ratio {best:.2}x \
+                 recorded unenforced (ratios above the CPU count are scheduler noise)"
             );
         }
     }
@@ -349,20 +393,45 @@ fn main() {
             .map(|_| AllPairsStream { n: stream, expected, received: 0, checksum: 0 })
             .collect::<Vec<_>>()
     };
+    // (engine name, pool column, config). The sync and threaded engines
+    // have fixed concurrency (1 and k); the event engine gets one row per
+    // requested pool size — its scheduler's worker count.
+    let mut engine_cfgs: Vec<(&str, usize, NetConfig)> =
+        vec![("sync", 1, cfg.clone()), ("threaded", k, cfg.clone())];
+    for &pool in &pools {
+        engine_cfgs.push(("event", pool, cfg.clone().with_event_workers(pool)));
+    }
     let mut engine_rows: Vec<EngineRow> = Vec::new();
-    for (name, threaded) in [("sync", false), ("threaded", true)] {
-        let before = allocations();
-        let start = Instant::now();
-        let out = if threaded {
-            run_threaded(&cfg, mk()).expect("threaded run")
-        } else {
-            run_sync(&cfg, mk()).expect("sync run")
-        };
-        let seconds = start.elapsed().as_secs_f64();
-        let allocs = allocations() - before;
-        let rounds = out.metrics.rounds;
+    let mut checksum: Option<Vec<u64>> = None;
+    for (name, pool, run_cfg) in &engine_cfgs {
+        let mut seconds = f64::INFINITY;
+        let mut rounds = 0;
+        let mut allocs = 0;
+        for rep in 0..ENGINE_REPS {
+            let before = allocations();
+            let start = Instant::now();
+            let out = match *name {
+                "sync" => run_sync(run_cfg, mk()),
+                "threaded" => run_threaded(run_cfg, mk()),
+                _ => run_event(run_cfg, mk()),
+            }
+            .unwrap_or_else(|e| panic!("{name} run failed: {e}"));
+            seconds = seconds.min(start.elapsed().as_secs_f64());
+            if rep == 0 {
+                allocs = allocations() - before;
+                rounds = out.metrics.rounds;
+                match &checksum {
+                    None => checksum = Some(out.outputs),
+                    Some(want) => assert_eq!(
+                        &out.outputs, want,
+                        "engine {name} (pool {pool}) diverged from the reference outputs"
+                    ),
+                }
+            }
+        }
         engine_rows.push(EngineRow {
             engine: name.to_string(),
+            pool: *pool,
             rounds,
             seconds,
             rounds_per_sec: rounds as f64 / seconds.max(1e-12),
@@ -370,10 +439,12 @@ fn main() {
         });
     }
 
-    let mut engine_table = Table::new(&["engine", "rounds", "seconds", "rounds/s", "allocs/round"]);
+    let mut engine_table =
+        Table::new(&["engine", "pool", "rounds", "seconds", "rounds/s", "allocs/round"]);
     for r in &engine_rows {
         engine_table.row(vec![
             r.engine.clone(),
+            r.pool.to_string(),
             r.rounds.to_string(),
             format!("{:.3}", r.seconds),
             format!("{:.0}", r.rounds_per_sec),
@@ -382,6 +453,48 @@ fn main() {
     }
     println!("\n-- engine loop (all-pairs stream of {stream} words, B = 512) --");
     engine_table.print();
+
+    let rps = |name: &str, pool: usize| {
+        engine_rows
+            .iter()
+            .find(|r| r.engine == name && r.pool == pool)
+            .map(|r| r.rounds_per_sec)
+            .unwrap_or(0.0)
+    };
+    let sync_rps = rps("sync", 1);
+    let threaded_rps = rps("threaded", k);
+    // Barrier-removal bars. Neither needs multiple CPUs — a one-worker
+    // event run measures pure scheduler overhead, and beating the threaded
+    // engine on a small host only requires not paying 3k barrier waits per
+    // round — so both are asserted on every host.
+    let event_seq = rps("event", 1);
+    if event_seq > 0.0 {
+        assert!(
+            event_seq >= sync_rps * 0.9,
+            "event engine at one worker ({event_seq:.0} rounds/s) must stay within 10% of sync \
+             ({sync_rps:.0} rounds/s)"
+        );
+        println!(
+            "\nevent@1 vs sync: {:.2}x rounds/sec (>= 0.9x required) -> ok",
+            event_seq / sync_rps.max(1e-12)
+        );
+    }
+    if let Some(best_parallel) = engine_rows
+        .iter()
+        .filter(|r| r.engine == "event" && r.pool >= 2)
+        .map(|r| r.rounds_per_sec)
+        .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+    {
+        assert!(
+            best_parallel > threaded_rps,
+            "event engine at pool >= 2 ({best_parallel:.0} rounds/s) must beat the threaded \
+             engine ({threaded_rps:.0} rounds/s) — removing the barrier is the whole point"
+        );
+        println!(
+            "event@pool>=2 vs threaded: {:.2}x rounds/sec (> 1x required) -> ok",
+            best_parallel / threaded_rps.max(1e-12)
+        );
+    }
 
     // -- Section 3: transport loop, dense lattice vs HashMap baseline --------
     let budget = 512u64;
@@ -428,26 +541,64 @@ fn main() {
         if lattice_rps >= hashmap_rps { "faster" } else { "within noise margin" }
     );
 
-    // -- Optional: the paper's full-scale generation -------------------------
-    let paper_full_seconds = paper_full.then(|| {
+    // -- Optional: the paper's full-scale path, per engine -------------------
+    let paper_full = paper_full.then(|| {
+        let pk = 4;
+        let ell = 64;
         let w = ScalarWorkload::paper_full();
         let start = Instant::now();
-        let shards = w.generate(k, seed);
-        let seconds = start.elapsed().as_secs_f64();
-        let total: usize = shards.iter().map(|s| s.len()).sum();
-        println!("\npaper_full: generated {total} points ({k} x 2^22) in {seconds:.2}s");
-        assert_eq!(total, k << 22);
-        seconds
+        let shards = w.generate(pk, seed);
+        let gen_seconds = start.elapsed().as_secs_f64();
+        let total_points: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total_points, pk << 22);
+        let start = Instant::now();
+        let mut cluster: KnnCluster = KnnCluster::builder().machines(pk).seed(seed).build();
+        cluster.load_shards(shards).expect("shard count matches k");
+        let load_seconds = start.elapsed().as_secs_f64();
+        println!(
+            "\npaper_full: generated {total_points} points ({pk} x 2^22) in {gen_seconds:.2}s, \
+             loaded in {load_seconds:.2}s"
+        );
+        let q = ScalarPoint(1 << 31);
+        let mut query = Vec::new();
+        let mut reference = None;
+        for engine in [kmachine::Engine::Sync, kmachine::Engine::Threaded, kmachine::Engine::Event]
+        {
+            cluster.set_engine(engine);
+            let start = Instant::now();
+            let ans = cluster.query_with(Algorithm::Simple, &q, ell).expect("query");
+            let seconds = start.elapsed().as_secs_f64();
+            assert_eq!(ans.neighbors.len(), ell);
+            let ids: Vec<_> = ans.neighbors.iter().map(|n| n.id).collect();
+            match &reference {
+                None => reference = Some(ids),
+                Some(want) => {
+                    assert_eq!(&ids, want, "paper_full answers must be engine-invariant")
+                }
+            }
+            println!(
+                "paper_full query ({}): {seconds:.3}s, {} rounds",
+                engine.name(),
+                ans.metrics.rounds
+            );
+            query.push(PaperFullQueryRow {
+                engine: engine.name().to_string(),
+                seconds,
+                rounds: ans.metrics.rounds,
+            });
+        }
+        PaperFullReport { gen_seconds, load_seconds, total_points, query }
     });
 
     let report = Report {
         k,
         per_machine,
         host_cpus,
+        gen_speedup_enforced,
         generation: gen_rows,
         engine: engine_rows,
         transport: transport_rows,
-        paper_full_seconds,
+        paper_full,
     };
     let csv_rows: Vec<Vec<String>> = report
         .generation
@@ -462,7 +613,7 @@ fn main() {
         })
         .chain(report.engine.iter().map(|r| {
             vec![
-                format!("engine-{}", r.engine),
+                format!("engine-{}@{}", r.engine, r.pool),
                 r.rounds.to_string(),
                 format!("{:.4}", r.seconds),
                 format!("{:.1}", r.rounds_per_sec),
@@ -475,6 +626,16 @@ fn main() {
                 format!("{:.4}", r.seconds),
                 format!("{:.1}", r.rounds_per_sec),
             ]
+        }))
+        .chain(report.paper_full.iter().flat_map(|pf| {
+            pf.query.iter().map(|r| {
+                vec![
+                    format!("paper-full-{}", r.engine),
+                    r.rounds.to_string(),
+                    format!("{:.4}", r.seconds),
+                    String::new(),
+                ]
+            })
         }))
         .collect();
     let csv = write_csv("hotpath", &["section", "param", "seconds", "value"], &csv_rows);

@@ -21,10 +21,16 @@
 //! baseline faithfully bisects the full local key sets), so its drop
 //! overstates pure batching gains.
 //!
+//! The `--engines` flag (comma-separated: `sync`, `threaded`, `event`,
+//! `auto`; default `sync`) repeats the sweep per engine and records an
+//! engine column, so the barrier-removal win of the event engine shows up
+//! as qps on the same simulated workload — rounds/q, msgs/q, and kbits/q
+//! are engine-invariant by the determinism contract.
+//!
 //! ```text
 //! cargo run -p knn-bench --release --bin throughput
 //!     [--k 8] [--per-machine 4096] [--ell 64] [--queries 64]
-//!     [--batches 1,8,64] [--seed 7]
+//!     [--batches 1,8,64] [--engines sync] [--seed 7]
 //! ```
 //!
 //! Writes `results/throughput.{csv,json}` so CI accumulates the perf
@@ -32,6 +38,7 @@
 
 use std::time::Instant;
 
+use kmachine::Engine;
 use knn_bench::args::Args;
 use knn_bench::table::Table;
 use knn_bench::{write_csv, write_json};
@@ -41,6 +48,7 @@ use knn_workloads::{QueryStream, ScalarWorkload};
 
 #[derive(Debug, serde::Serialize)]
 struct Row {
+    engine: String,
     algorithm: String,
     batch_size: usize,
     queries: usize,
@@ -58,6 +66,11 @@ fn main() {
     let ell = args.get_usize("ell", 64);
     let total = args.get_usize("queries", 64);
     let batches = args.get_list("batches", &[1, 8, 64]);
+    let engines: Vec<Engine> = args
+        .get_str("engines", "sync")
+        .split(',')
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("--engines: {e}")))
+        .collect();
     let seed = args.get_u64("seed", 7);
     let hi = 1u64 << 32;
 
@@ -70,73 +83,112 @@ fn main() {
         "== Serving throughput: k = {k}, {per_machine} pts/machine, ell = {ell}, \
          {total} queries ==\n"
     );
-    let mut table =
-        Table::new(&["algorithm", "batch", "qps", "rounds/q", "msgs/q", "kbits/q", "elections"]);
+    let mut table = Table::new(&[
+        "engine",
+        "algorithm",
+        "batch",
+        "qps",
+        "rounds/q",
+        "msgs/q",
+        "kbits/q",
+        "elections",
+    ]);
     let mut rows: Vec<Row> = Vec::new();
 
-    for algo in Algorithm::ALL {
-        for &bs in &batches {
-            let mut rounds = 0u64;
-            let mut messages = 0u64;
-            let mut bits = 0u64;
-            let mut elections = 0u64;
-            let start = Instant::now();
-            if bs <= 1 {
-                // Sequential baseline: every query pays its own election
-                // and its own engine run.
-                for batch in QueryStream::scalar(total, 1, 0, hi, seed) {
-                    let ans = cluster.query_with(algo, &batch[0], ell).expect("query");
-                    rounds += ans.metrics.rounds;
-                    messages += ans.metrics.messages;
-                    bits += ans.metrics.bits;
-                    if let Some(em) = &ans.election_metrics {
-                        elections += 1;
-                        rounds += em.rounds;
-                        messages += em.messages;
-                        bits += em.bits;
+    for &engine in &engines {
+        cluster.set_engine(engine);
+        for algo in Algorithm::ALL {
+            for &bs in &batches {
+                let mut rounds = 0u64;
+                let mut messages = 0u64;
+                let mut bits = 0u64;
+                let mut elections = 0u64;
+                let start = Instant::now();
+                if bs <= 1 {
+                    // Sequential baseline: every query pays its own
+                    // election and its own engine run.
+                    for batch in QueryStream::scalar(total, 1, 0, hi, seed) {
+                        let ans = cluster.query_with(algo, &batch[0], ell).expect("query");
+                        rounds += ans.metrics.rounds;
+                        messages += ans.metrics.messages;
+                        bits += ans.metrics.bits;
+                        if let Some(em) = &ans.election_metrics {
+                            elections += 1;
+                            rounds += em.rounds;
+                            messages += em.messages;
+                            bits += em.bits;
+                        }
+                    }
+                } else {
+                    for batch in QueryStream::scalar(total, bs, 0, hi, seed) {
+                        let out = cluster.query_batch_with(algo, &batch, ell).expect("batch");
+                        rounds += out.metrics.rounds;
+                        messages += out.metrics.messages;
+                        bits += out.metrics.bits;
+                        if let Some(em) = &out.election_metrics {
+                            elections += 1;
+                            rounds += em.rounds;
+                            messages += em.messages;
+                            bits += em.bits;
+                        }
                     }
                 }
-            } else {
-                for batch in QueryStream::scalar(total, bs, 0, hi, seed) {
-                    let out = cluster.query_batch_with(algo, &batch, ell).expect("batch");
-                    rounds += out.metrics.rounds;
-                    messages += out.metrics.messages;
-                    bits += out.metrics.bits;
-                    if let Some(em) = &out.election_metrics {
-                        elections += 1;
-                        rounds += em.rounds;
-                        messages += em.messages;
-                        bits += em.bits;
-                    }
-                }
+                let wall = start.elapsed().as_secs_f64();
+                let row = Row {
+                    engine: engine.name().to_string(),
+                    algorithm: algo.name().to_string(),
+                    batch_size: bs,
+                    queries: total,
+                    qps: total as f64 / wall.max(1e-9),
+                    rounds_per_query: rounds as f64 / total as f64,
+                    messages_per_query: messages as f64 / total as f64,
+                    kilobits_per_query: bits as f64 / 1000.0 / total as f64,
+                    elections,
+                };
+                table.row(vec![
+                    row.engine.clone(),
+                    row.algorithm.clone(),
+                    bs.to_string(),
+                    format!("{:.0}", row.qps),
+                    format!("{:.2}", row.rounds_per_query),
+                    format!("{:.1}", row.messages_per_query),
+                    format!("{:.2}", row.kilobits_per_query),
+                    row.elections.to_string(),
+                ]);
+                rows.push(row);
             }
-            let wall = start.elapsed().as_secs_f64();
-            let row = Row {
-                algorithm: algo.name().to_string(),
-                batch_size: bs,
-                queries: total,
-                qps: total as f64 / wall.max(1e-9),
-                rounds_per_query: rounds as f64 / total as f64,
-                messages_per_query: messages as f64 / total as f64,
-                kilobits_per_query: bits as f64 / 1000.0 / total as f64,
-                elections,
-            };
-            table.row(vec![
-                row.algorithm.clone(),
-                bs.to_string(),
-                format!("{:.0}", row.qps),
-                format!("{:.2}", row.rounds_per_query),
-                format!("{:.1}", row.messages_per_query),
-                format!("{:.2}", row.kilobits_per_query),
-                row.elections.to_string(),
-            ]);
-            rows.push(row);
         }
     }
     table.print();
 
+    // Simulated costs are engine-invariant: every engine must report the
+    // same rounds/messages/bits per (algorithm, batch) cell.
+    if engines.len() > 1 {
+        for r in &rows {
+            let reference = rows
+                .iter()
+                .find(|o| o.algorithm == r.algorithm && o.batch_size == r.batch_size)
+                .expect("first engine's row exists");
+            assert_eq!(
+                (r.rounds_per_query, r.messages_per_query, r.kilobits_per_query),
+                (
+                    reference.rounds_per_query,
+                    reference.messages_per_query,
+                    reference.kilobits_per_query
+                ),
+                "engine {} diverged from {} on {} batch {}",
+                r.engine,
+                reference.engine,
+                r.algorithm,
+                r.batch_size
+            );
+        }
+    }
+
     // The amortization headline the serving layer exists for: batching must
-    // strictly reduce rounds per query for the bandwidth-bound baseline.
+    // strictly reduce rounds per query for the bandwidth-bound baseline
+    // (rounds are engine-invariant, so checking any one engine's rows
+    // covers them all).
     let simple = |bs: usize| {
         rows.iter()
             .find(|r| r.algorithm == Algorithm::Simple.name() && r.batch_size == bs)
@@ -160,6 +212,7 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
+                r.engine.clone(),
                 r.algorithm.clone(),
                 r.batch_size.to_string(),
                 r.queries.to_string(),
@@ -174,6 +227,7 @@ fn main() {
     let csv = write_csv(
         "throughput",
         &[
+            "engine",
             "algorithm",
             "batch",
             "queries",

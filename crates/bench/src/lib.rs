@@ -29,6 +29,16 @@ pub mod table;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+/// CPUs the kernel offers this process (cgroup/affinity aware), detected
+/// via `available_parallelism`. Bench bins detect this **once**, record it
+/// in their reports, and gate every parallel-speedup assertion on the
+/// recorded value — a 1-CPU CI runner must never be asked to prove a
+/// speedup the hardware cannot deliver (nor trusted when timing jitter
+/// fakes one).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Directory where experiment outputs are written.
 pub fn results_dir() -> PathBuf {
     let dir = Path::new("results");

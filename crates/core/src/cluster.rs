@@ -118,7 +118,11 @@ impl ClusterBuilder {
         self
     }
 
-    /// Execution engine.
+    /// Execution engine. [`Engine::Auto`] picks sync / threaded / event per
+    /// run from the cluster size, per-round payload budget, and pool size;
+    /// [`Engine::Event`] is the barrier-free engine batched serving wants
+    /// on multi-core hosts. Answers and metrics are identical under every
+    /// engine; the `KNN_ENGINE` environment variable overrides this choice.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.opts.engine = engine;
         self
@@ -213,6 +217,15 @@ impl<P: IndexedPoint> KnnCluster<P> {
     /// The query options in effect.
     pub fn options(&self) -> &QueryOptions {
         &self.opts
+    }
+
+    /// Switch the execution engine without reloading the data or rebuilding
+    /// the indices. Answers and metrics are engine-invariant; only the wall
+    /// clock changes — so a serving deployment can move between exact
+    /// accounting ([`Engine::Sync`]) and barrier-free parallel execution
+    /// ([`Engine::Event`]) on a live cluster.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.opts.engine = engine;
     }
 
     /// Distribute a global dataset across the machines.
@@ -461,6 +474,31 @@ mod tests {
         );
         assert!(approx.metrics.rounds < exact.metrics.rounds);
         assert!(approx.neighbors.iter().all(|n| n.label.is_some()));
+    }
+
+    #[test]
+    fn query_batch_can_request_the_event_engine() {
+        let mut event_cluster: KnnCluster<ScalarPoint> =
+            KnnCluster::builder().machines(4).seed(3).engine(Engine::Event).build();
+        let mut ids = IdAssigner::new(0);
+        let data =
+            Dataset::from_points((0..200u64).map(|i| ScalarPoint(i * 7)).collect(), &mut ids);
+        event_cluster.load(data, PartitionStrategy::Shuffled);
+        let queries: Vec<ScalarPoint> = (0..5).map(|i| ScalarPoint(i * 250)).collect();
+        let batch = event_cluster.query_batch(&queries, 4).unwrap();
+        assert_eq!(batch.answers.len(), 5);
+        // Same cluster layout through the sync engine gives the same batch.
+        let mut sync_cluster: KnnCluster<ScalarPoint> =
+            KnnCluster::builder().machines(4).seed(3).engine(Engine::Sync).build();
+        let mut ids = IdAssigner::new(0);
+        let data =
+            Dataset::from_points((0..200u64).map(|i| ScalarPoint(i * 7)).collect(), &mut ids);
+        sync_cluster.load(data, PartitionStrategy::Shuffled);
+        let want = sync_cluster.query_batch(&queries, 4).unwrap();
+        assert_eq!(batch.metrics, want.metrics);
+        for (a, b) in batch.answers.iter().zip(&want.answers) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
     }
 
     #[test]

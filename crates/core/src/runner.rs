@@ -64,8 +64,12 @@ pub enum ElectionKind {
 /// Everything configurable about a query run.
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
-    /// Simulation engine (sync for exact accounting, threaded for wall
-    /// clock).
+    /// Simulation engine: sync for exact accounting, threaded for
+    /// latency-modeling wall clock, event for barrier-free parallel wall
+    /// clock, or [`Engine::Auto`] to pick per run from k, the per-round
+    /// payload budget, and the pool size. All engines return bit-identical
+    /// answers and metrics; the `KNN_ENGINE` environment variable
+    /// overrides this field for every run.
     pub engine: Engine,
     /// Link bandwidth.
     pub bandwidth: BandwidthMode,
@@ -398,6 +402,20 @@ mod tests {
             );
         }
         assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn event_and_auto_engines_answer_identically() {
+        let values: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(2654435761) % 80_000).collect();
+        let sh = shards(&values, 6);
+        let q = ScalarPoint(41_000);
+        let reference = run_query(&sh, &q, 8, Algorithm::Knn, &QueryOptions::default()).unwrap();
+        for engine in [Engine::Threaded, Engine::Event, Engine::Auto] {
+            let opts = QueryOptions { engine, ..Default::default() };
+            let out = run_query(&sh, &q, 8, Algorithm::Knn, &opts).unwrap();
+            assert_eq!(out.local_keys, reference.local_keys, "{engine:?}");
+            assert_eq!(out.metrics, reference.metrics, "{engine:?}");
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! Per-query costs stay observable: message/bit totals are attributed by
 //! query tag ([`kmachine::RunMetrics::per_tag`]) and each query reports the
 //! round in which it completed.
+//!
+//! The engine is whatever the session's [`QueryOptions`] request — including
+//! [`kmachine::Engine::Event`], which runs the batch without any global
+//! round barrier (machines synchronize only against their slowest peer's
+//! previous round), and [`kmachine::Engine::Auto`], which picks an engine
+//! per batch. Answers and metrics are engine-invariant.
 
 use std::time::Duration;
 
@@ -391,6 +397,31 @@ mod tests {
             assert_eq!(survivors as u64, total, "query {j}");
             assert!(bq.contains_exact.unwrap(), "paper constants should not under-prune");
             assert!(total >= 40);
+        }
+    }
+
+    #[test]
+    fn batch_is_engine_invariant_including_event_and_auto() {
+        use kmachine::Engine;
+        let values: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(48271) % 70_000).collect();
+        let sh = shards(&values, 5);
+        let idx = indices(&sh);
+        let queries: Vec<ScalarPoint> = (0..8).map(|i| ScalarPoint(i * 9_000)).collect();
+        let reference = QuerySession::new(&sh, &idx, QueryOptions::default())
+            .unwrap()
+            .run_batch(&queries, 6, Algorithm::Knn)
+            .unwrap();
+        for engine in [Engine::Threaded, Engine::Event, Engine::Auto] {
+            let opts = QueryOptions { engine, ..Default::default() };
+            let session = QuerySession::new(&sh, &idx, opts).unwrap();
+            let batch = session.run_batch(&queries, 6, Algorithm::Knn).unwrap();
+            assert_eq!(batch.metrics, reference.metrics, "{engine:?}");
+            for (j, (got, want)) in batch.queries.iter().zip(&reference.queries).enumerate() {
+                assert_eq!(got.local_keys, want.local_keys, "{engine:?} query {j}");
+                assert_eq!(got.done_round, want.done_round, "{engine:?} query {j}");
+                assert_eq!(got.messages, want.messages, "{engine:?} query {j}");
+                assert_eq!(got.bits, want.bits, "{engine:?} query {j}");
+            }
         }
     }
 

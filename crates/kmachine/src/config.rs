@@ -50,9 +50,32 @@ pub struct NetConfig {
     /// Abort the run with [`crate::EngineError::MaxRounds`] past this round.
     pub max_rounds: u64,
     /// Synthetic per-round network latency, applied only by the threaded
-    /// engine (models cluster RTT; the sync engine ignores it).
+    /// engine (models cluster RTT; the sync and event engines ignore it —
+    /// the event engine has no global round to attach it to).
     pub round_latency: Duration,
+    /// Worker threads of the event engine's scheduler (`None`: the ambient
+    /// rayon pool size, so `RAYON_NUM_THREADS` and `ThreadPool::install`
+    /// govern it like every other parallel path). A pure wall-clock knob:
+    /// outputs and metrics are identical at every value.
+    pub event_workers: Option<usize>,
+    /// Depth of the event engine's per-destination staging rings (slots of
+    /// in-flight rounds). Also a pure wall-clock knob; clamped to ≥ 2 — at
+    /// depth 1 a machine's transport of round r would wait for every peer
+    /// to consume round r while their consumption waits on the same
+    /// round's publishes, re-creating the lockstep circular wait the
+    /// engine exists to avoid. Values above 2 change nothing today:
+    /// bit-exact complete-graph delivery bounds machine skew at one round
+    /// (a machine must see every peer's previous transport, even an empty
+    /// one, before its inbox is defined), so at most two slots are ever in
+    /// flight. The knob is kept for ring geometry and for relaxed-delivery
+    /// experiments the ROADMAP sketches.
+    pub event_window: u64,
 }
+
+/// Default event-engine run-ahead window: deep enough to absorb scheduling
+/// jitter and pipeline multiplexed batches, shallow enough to keep the
+/// per-link rings small.
+pub const DEFAULT_EVENT_WINDOW: u64 = 4;
 
 impl NetConfig {
     /// A config with `k` machines, enforced default bandwidth, seed 0.
@@ -63,6 +86,8 @@ impl NetConfig {
             seed: 0,
             max_rounds: 10_000_000,
             round_latency: Duration::ZERO,
+            event_workers: None,
+            event_window: DEFAULT_EVENT_WINDOW,
         }
     }
 
@@ -89,6 +114,19 @@ impl NetConfig {
         self.max_rounds = max_rounds;
         self
     }
+
+    /// Pin the event engine's worker count (default: ambient rayon pool).
+    pub fn with_event_workers(mut self, workers: usize) -> Self {
+        self.event_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Set the event engine's run-ahead window (clamped to ≥ 2; see
+    /// [`NetConfig::event_window`]).
+    pub fn with_event_window(mut self, window: u64) -> Self {
+        self.event_window = window.max(2);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,10 +151,24 @@ mod tests {
             .with_seed(7)
             .with_bandwidth(BandwidthMode::Unlimited)
             .with_max_rounds(99)
-            .with_round_latency(Duration::from_micros(50));
+            .with_round_latency(Duration::from_micros(50))
+            .with_event_workers(3)
+            .with_event_window(6);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.bandwidth, BandwidthMode::Unlimited);
         assert_eq!(cfg.max_rounds, 99);
         assert_eq!(cfg.round_latency, Duration::from_micros(50));
+        assert_eq!(cfg.event_workers, Some(3));
+        assert_eq!(cfg.event_window, 6);
+    }
+
+    #[test]
+    fn event_knobs_default_and_clamp() {
+        let cfg = NetConfig::new(2);
+        assert_eq!(cfg.event_workers, None);
+        assert_eq!(cfg.event_window, DEFAULT_EVENT_WINDOW);
+        let cfg = cfg.with_event_workers(0).with_event_window(0);
+        assert_eq!(cfg.event_workers, Some(1));
+        assert_eq!(cfg.event_window, 2);
     }
 }

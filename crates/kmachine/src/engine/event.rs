@@ -1,0 +1,822 @@
+//! Event-driven engine: per-link dependency scheduling, no global barrier.
+//!
+//! [`run_threaded`](super::run_threaded) ends every simulated round with a
+//! barrier across all k workers, so one slow machine (or one descheduled
+//! thread) stalls everyone — the cost that caps the batched-serving wins at
+//! wall-clock level. This engine replaces the barrier with **neighbor-local
+//! synchronization** over a round-slotted extension of the dense
+//! `Vec<LinkFifo>` lattice:
+//!
+//! * every machine gets two watermarks — `published` (how many transport
+//!   phases it has completed, one release store per round no matter how
+//!   many links it drove) and `consumed` (how many rounds it has drained) —
+//!   and a round-slotted inbound staging ring: slot `t % window` of
+//!   machine m's ring collects what every source's transport phase `t`
+//!   delivered toward m. Sources append at different times; the engine's
+//!   existing `(src, seq)` inbox sort restores the deterministic order, so
+//!   sharing one slot per (destination, round) costs nothing and lets an
+//!   idle link cost literally zero (an empty transport is just the one
+//!   watermark store);
+//! * machine `m` may execute round `r` as soon as every peer has
+//!   `published ≥ r` (its inputs exist) and `consumed + window > r` (the
+//!   staging slots it may write are free) — nothing else in the cluster
+//!   matters. Note the honest limit of bit-exact simulation on a complete
+//!   graph: because any peer may send to m in any round, m can only know
+//!   its round-r inbox is complete once *every* peer has finished round
+//!   r−1 (an empty transport is information too), so compute overlap
+//!   between machines is inherently bounded at one round of skew. What
+//!   the engine removes is the *cost* of synchronization, not its
+//!   data-flow edges: no machine ever waits at a global round boundary,
+//!   there are no 3k barrier waits per round, k machines share a few
+//!   worker threads instead of owning one each, and a machine's
+//!   synchronization is wait-free whenever its peers have kept pace;
+//! * machines are cooperatively-scheduled tasks on a small worker pool
+//!   ([`NetConfig::event_workers`], default: the ambient rayon pool size),
+//!   not one OS thread each — and a pool of **one** worker takes the
+//!   degenerate path outright: dependency scheduling with nobody to overlap
+//!   with is exactly the lockstep sweep, so the engine runs [`run_sync`]'s
+//!   loop instead of paying watermark bookkeeping for concurrency that
+//!   cannot happen (the outcome is bit-identical either way — that is the
+//!   engine contract this module's tests pin).
+//!
+//! Outputs, round counts, and every [`RunMetrics`] field are byte-identical
+//! to [`run_sync`](super::run_sync) for deterministic protocols at any
+//! worker count: per-round inboxes are reassembled in the same `(src, seq)`
+//! order, RNG streams are untouched, and the run-ahead bookkeeping
+//! (speculative transports past the final round, late deliveries consumed
+//! out of lockstep) is filtered back to exactly what the lockstep engines
+//! would have observed. `tests/parallel_determinism.rs` pins this for the
+//! full serving pipeline; the unit tests below pin the error paths.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Condvar;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+
+use crate::config::NetConfig;
+use crate::ctx::Ctx;
+use crate::engine::RunOutcome;
+use crate::error::EngineError;
+use crate::link::LinkFifo;
+use crate::message::{Envelope, MachineId};
+use crate::metrics::{RunMetrics, TagMetrics};
+use crate::payload::Payload;
+use crate::protocol::{Protocol, Step};
+use crate::rng::machine_rng;
+
+/// How long an idle worker parks before re-sweeping, bounding the cost of a
+/// lost wakeup (the fast path never sleeps: any publish bumps the epoch and
+/// notifies parked workers).
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// One machine's inbound staging ring: slot `t % window` collects what
+/// every source's transport phase `t` delivered toward this machine,
+/// consumed whole at round `t + 1`. Sources may append interleaved — the
+/// `(src, seq)` inbox sort restores the deterministic delivery order — and
+/// slot buffers keep their allocations warm across ring reuse.
+///
+/// Writers are gated by the owner's `consumed` watermark (slot space) and
+/// readers by each peer's `published` watermark (content completeness), so
+/// the mutex is held only for the append/take itself.
+type InboundRing<M> = Mutex<Vec<Vec<Envelope<M>>>>;
+
+/// Everything a machine owns: protocol, determinism state, outbound FIFOs,
+/// reused buffers, and thread-free metric accumulators (merged once at the
+/// end — the hot path touches no shared counters).
+struct MachineState<P: Protocol> {
+    proto: P,
+    rng: StdRng,
+    seq: u64,
+    round: u64,
+    /// Outbound FIFO toward each destination (`fifos[id]` stays empty).
+    fifos: Vec<LinkFifo<P::Msg>>,
+    outbox: Vec<Envelope<P::Msg>>,
+    inbox: Vec<Envelope<P::Msg>>,
+    done: bool,
+    poisoned: bool,
+    output: Option<P::Output>,
+    /// Non-empty inbox rounds consumed after this machine was done, as
+    /// `(round, count)`. Finalization keeps only rounds the lockstep
+    /// engines would have executed (`round ≤ final_round`), discarding
+    /// speculative overshoot (at most one round: a machine can race one
+    /// iteration past the finisher before observing `stop`).
+    late: Vec<(u64, u64)>,
+    messages: u64,
+    bits: u64,
+    sends: u64,
+    max_backlog: u64,
+    tags: Vec<TagMetrics>,
+    exited: bool,
+}
+
+/// Cross-machine coordination state.
+struct Shared<M> {
+    k: usize,
+    budget: u64,
+    window: u64,
+    max_rounds: u64,
+    /// Transport phases machine i has completed (one release store per
+    /// round; transport `t` feeds every destination's round `t + 1`).
+    published: Vec<AtomicU64>,
+    /// Rounds machine i has consumed; gates writers of its staging ring.
+    consumed: Vec<AtomicU64>,
+    /// Per-destination round-slotted staging rings.
+    inbound: Vec<InboundRing<M>>,
+    /// All machines finished (or an error was recorded); exit after
+    /// consuming through `final_round`.
+    stop: AtomicBool,
+    /// Error shutdown: exit immediately, metrics are not reported.
+    abort: AtomicBool,
+    /// Highest round in which any machine produced its output — exactly
+    /// `RunMetrics::rounds` of the lockstep engines.
+    final_round: AtomicU64,
+    done_count: AtomicUsize,
+    exited_count: AtomicUsize,
+    error: Mutex<Option<EngineError>>,
+    /// Stall detector: slot `r % len` packs `(round << 16) | quiet_count`.
+    /// When the count for one round reaches k, the run is stalled — the
+    /// same "nothing sent, nothing delivered, nothing in flight, nobody
+    /// progressed" conjunction `run_sync` checks every round.
+    quiet: Vec<AtomicU64>,
+    /// Bumped on every completed machine-round; parked workers recheck it.
+    epoch: AtomicU64,
+    sleepers: AtomicUsize,
+    idle: Mutex<()>,
+    cv: Condvar,
+}
+
+impl<M> Shared<M> {
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn fail(&self, err: EngineError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        drop(slot);
+        self.abort.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+/// Execute one protocol instance per machine with per-link dependency
+/// scheduling on a small worker pool.
+///
+/// Semantics (outputs, rounds, messages, every metric) match
+/// [`run_sync`](super::run_sync); wall-clock time reflects genuinely
+/// parallel local computation *without* a per-round global barrier —
+/// machines synchronize only against their slowest peer's previous round
+/// (the data-flow minimum for bit-exact complete-graph delivery; see the
+/// [module docs](self) for why that bounds skew at one round).
+///
+/// [`NetConfig::round_latency`] is ignored (there is no global round to
+/// attach it to); use the threaded engine for synthetic-latency runs.
+///
+/// With an effective pool of one worker (including `k == 1`) the engine
+/// takes the degenerate path: one worker sweeping dependency-ready machines
+/// *is* the lockstep order, so it runs [`run_sync`]'s loop and pays zero
+/// scheduling overhead. The outcome is identical by the engine contract.
+///
+/// # Panics
+/// If `protocols.len() != cfg.k`, bandwidth is `Enforce { 0 }`, or
+/// `k > 65535` (the stall detector packs per-round quiet counts in 16 bits).
+pub fn run_event<P: Protocol>(
+    cfg: &NetConfig,
+    protocols: Vec<P>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
+    let k = protocols.len();
+    assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
+    let budget = cfg.bandwidth.budget();
+    assert!(budget >= 1, "bandwidth must allow at least 1 bit per round");
+    // Depth ≥ 2 keeps the minimum-round machine always runnable (its
+    // consumers' `consumed` trails its round by at most one).
+    let window = cfg.event_window.max(2);
+    let workers = cfg.event_workers.unwrap_or_else(rayon::current_num_threads).clamp(1, k.max(1));
+    if workers <= 1 {
+        return super::run_sync(cfg, protocols);
+    }
+    assert!(k <= u16::MAX as usize, "event engine supports at most 65535 machines");
+
+    let shared = Shared::<P::Msg> {
+        k,
+        budget,
+        window,
+        max_rounds: cfg.max_rounds,
+        published: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        consumed: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        inbound: (0..k).map(|_| Mutex::new((0..window).map(|_| Vec::new()).collect())).collect(),
+        stop: AtomicBool::new(false),
+        abort: AtomicBool::new(false),
+        final_round: AtomicU64::new(0),
+        done_count: AtomicUsize::new(0),
+        exited_count: AtomicUsize::new(0),
+        error: Mutex::new(None),
+        quiet: (0..window + 2).map(|_| AtomicU64::new(0)).collect(),
+        epoch: AtomicU64::new(0),
+        sleepers: AtomicUsize::new(0),
+        idle: Mutex::new(()),
+        cv: Condvar::new(),
+    };
+    let machines: Vec<Mutex<MachineState<P>>> = protocols
+        .into_iter()
+        .enumerate()
+        .map(|(id, proto)| {
+            Mutex::new(MachineState {
+                proto,
+                rng: machine_rng(cfg.seed, id),
+                seq: 0,
+                round: 0,
+                fifos: (0..k).map(|_| LinkFifo::default()).collect(),
+                outbox: Vec::with_capacity(k),
+                inbox: Vec::with_capacity(k),
+                done: false,
+                poisoned: false,
+                output: None,
+                late: Vec::new(),
+                messages: 0,
+                bits: 0,
+                sends: 0,
+                max_backlog: 0,
+                tags: Vec::new(),
+                exited: false,
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shared = &shared;
+            let machines = &machines;
+            scope.spawn(move || worker(w, workers, machines, shared));
+        }
+    });
+    let wall = start.elapsed();
+
+    if let Some(err) = shared.error.lock().take() {
+        return Err(err);
+    }
+
+    let fin = shared.final_round.load(Ordering::Acquire);
+    let mut metrics = RunMetrics::new(k);
+    metrics.rounds = fin;
+    let mut outs = Vec::with_capacity(k);
+    for (i, m) in machines.into_iter().enumerate() {
+        let st = m.into_inner();
+        metrics.messages += st.messages;
+        metrics.bits += st.bits;
+        metrics.sends_per_machine[i] = st.sends;
+        metrics.max_link_backlog_bits = metrics.max_link_backlog_bits.max(st.max_backlog);
+        metrics.delivered_after_done +=
+            st.late.iter().filter(|&&(r, _)| r <= fin).map(|&(_, c)| c).sum::<u64>();
+        if metrics.per_tag.len() < st.tags.len() {
+            metrics.per_tag.resize(st.tags.len(), TagMetrics::default());
+        }
+        for (total, mine) in metrics.per_tag.iter_mut().zip(&st.tags) {
+            total.messages += mine.messages;
+            total.bits += mine.bits;
+        }
+        match st.output {
+            Some(o) => outs.push(o),
+            None => return Err(EngineError::WorkerPanic { machine: i }),
+        }
+    }
+    Ok(RunOutcome { outputs: outs, metrics, wall })
+}
+
+/// Worker loop: sweep the machines (staggered start per worker so workers
+/// spread over distinct machines), advancing each as far as its link
+/// dependencies allow; park briefly when a whole sweep makes no progress.
+fn worker<P: Protocol>(
+    w: usize,
+    workers: usize,
+    machines: &[Mutex<MachineState<P>>],
+    shared: &Shared<P::Msg>,
+) {
+    let k = machines.len();
+    let start = w * k / workers.max(1);
+    loop {
+        if shared.exited_count.load(Ordering::Acquire) == k {
+            return;
+        }
+        let epoch_before = shared.epoch.load(Ordering::Acquire);
+        let mut progressed = false;
+        for i in 0..k {
+            let m = (start + i) % k;
+            // A machine locked by another worker is already being advanced.
+            if let Some(mut st) = machines[m].try_lock() {
+                progressed |= advance(m, &mut st, shared);
+            }
+        }
+        if shared.exited_count.load(Ordering::Acquire) == k {
+            return;
+        }
+        if !progressed {
+            shared.sleepers.fetch_add(1, Ordering::AcqRel);
+            let guard = shared.idle.lock();
+            if shared.epoch.load(Ordering::Acquire) == epoch_before {
+                let _ = shared.cv.wait_timeout(guard, IDLE_PARK);
+            } else {
+                drop(guard);
+            }
+            shared.sleepers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Advance one machine as many rounds as its dependencies currently allow.
+/// Returns whether at least one round completed (or the machine exited).
+fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::Msg>) -> bool {
+    let k = sh.k;
+    let mut progressed = false;
+    loop {
+        if st.exited {
+            return progressed;
+        }
+        if sh.abort.load(Ordering::Acquire) {
+            exit(st, sh);
+            return true;
+        }
+        if sh.stop.load(Ordering::Acquire) {
+            // Normal completion. Every transport the lockstep engines would
+            // have run (rounds 0..final_round-1) is already published — some
+            // machine computed round `final_round`, which required them all
+            // — so drain the remaining rounds for exact late-delivery
+            // accounting, then exit.
+            let fin = sh.final_round.load(Ordering::Acquire);
+            while st.round <= fin {
+                let r = st.round;
+                consume_round(id, st, sh, r);
+                if !st.inbox.is_empty() {
+                    st.late.push((r, st.inbox.len() as u64));
+                    st.inbox.clear();
+                }
+                st.round += 1;
+            }
+            exit(st, sh);
+            return true;
+        }
+
+        let r = st.round;
+        if !st.done && !st.poisoned && r > sh.max_rounds {
+            sh.fail(EngineError::MaxRounds { limit: sh.max_rounds });
+            exit(st, sh);
+            return true;
+        }
+        // Inbound dependency: every peer has published its round r-1
+        // transport. Outbound space: slot r % window of every peer's
+        // staging ring is free (its round r-window contents were consumed).
+        let ready = (0..k).all(|peer| {
+            peer == id
+                || (sh.published[peer].load(Ordering::Acquire) >= r
+                    && sh.consumed[peer].load(Ordering::Acquire) + sh.window > r)
+        });
+        if !ready {
+            return progressed;
+        }
+
+        // --- consume: reassemble this round's inbox in (src, seq) order ---
+        consume_round(id, st, sh, r);
+        st.inbox.sort_unstable_by_key(|e| (e.src, e.seq));
+
+        // --- compute ---
+        let mut sent = 0u64;
+        let mut became_done = false;
+        if st.done || st.poisoned {
+            if !st.inbox.is_empty() {
+                st.late.push((r, st.inbox.len() as u64));
+                st.inbox.clear();
+            }
+        } else {
+            let step = {
+                let mut ctx = Ctx {
+                    id,
+                    k,
+                    round: r,
+                    inbox: &st.inbox,
+                    outbox: &mut st.outbox,
+                    rng: &mut st.rng,
+                    next_seq: &mut st.seq,
+                };
+                catch_unwind(AssertUnwindSafe(|| st.proto.on_round(&mut ctx)))
+            };
+            st.inbox.clear();
+            match step {
+                Ok(Step::Continue) => {}
+                Ok(Step::Done(out)) => {
+                    st.output = Some(out);
+                    st.done = true;
+                    became_done = true;
+                }
+                Err(_) => {
+                    // Record the panic, then keep cycling as a silent
+                    // machine so nobody deadlocks on this link row.
+                    let mut err = sh.error.lock();
+                    if err.is_none() {
+                        *err = Some(EngineError::WorkerPanic { machine: id });
+                    }
+                    drop(err);
+                    st.poisoned = true;
+                    became_done = true;
+                }
+            }
+            for env in st.outbox.drain(..) {
+                let bits = env.msg.size_bits().max(1);
+                st.messages += 1;
+                st.bits += bits;
+                st.sends += 1;
+                sent += 1;
+                if let Some(tag) = env.msg.mux_tag() {
+                    let idx = tag as usize;
+                    if idx >= st.tags.len() {
+                        st.tags.resize(idx + 1, TagMetrics::default());
+                    }
+                    st.tags[idx].messages += 1;
+                    st.tags[idx].bits += bits;
+                }
+                st.fifos[env.dst].push(env, bits);
+            }
+            if became_done {
+                sh.final_round.fetch_max(r, Ordering::AcqRel);
+                let done_now = sh.done_count.fetch_add(1, Ordering::AcqRel) + 1;
+                if done_now == k {
+                    // The wall-clock-last finisher always holds the highest
+                    // done round: any machine that reached a higher round
+                    // needed this one's transports to get there, so this
+                    // one would already have passed that round. Like
+                    // run_sync's break, round `r` sees no transport.
+                    debug_assert_eq!(sh.final_round.load(Ordering::Acquire), r);
+                    st.round = r + 1;
+                    sh.stop.store(true, Ordering::Release);
+                    sh.cv.notify_all();
+                    exit(st, sh);
+                    return true;
+                }
+            }
+        }
+
+        // --- transport: drain one budget round per busy outbound FIFO into
+        // the destination's staging slot; idle links cost nothing and the
+        // whole phase publishes with one release store ---
+        let mut delivered = false;
+        let mut pending_total = 0u64;
+        let slot_idx = (r % sh.window) as usize;
+        for dst in 0..k {
+            if dst == id {
+                continue;
+            }
+            let fifo = &mut st.fifos[dst];
+            if fifo.is_empty() {
+                continue;
+            }
+            let mut ring = sh.inbound[dst].lock();
+            let slot = &mut ring[slot_idx];
+            let before = slot.len();
+            fifo.drain_round(sh.budget, slot);
+            delivered |= slot.len() > before;
+            drop(ring);
+            let pending = fifo.pending_bits();
+            st.max_backlog = st.max_backlog.max(pending);
+            pending_total += pending;
+        }
+        sh.published[id].store(r + 1, Ordering::Release);
+
+        // --- stall accounting: run_sync's per-round conjunction, split per
+        // machine and joined through the per-round quiet counter ---
+        if sent == 0 && !became_done && !delivered && pending_total == 0 {
+            let slots = sh.quiet.len() as u64;
+            let slot = &sh.quiet[(r % slots) as usize];
+            let stalled = loop {
+                let cur = slot.load(Ordering::Acquire);
+                // Machines can spread at most `window` rounds, and the ring
+                // has window + 2 slots, so a stale entry is always for an
+                // older round — never a newer one.
+                let count = if cur >> 16 == r { (cur & 0xffff) + 1 } else { 1 };
+                let next = (r << 16) | count;
+                if slot.compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                    break count as usize == k;
+                }
+            };
+            if stalled {
+                sh.fail(EngineError::Stalled { round: r });
+                exit(st, sh);
+                return true;
+            }
+        }
+
+        st.round = r + 1;
+        progressed = true;
+        sh.epoch.fetch_add(1, Ordering::AcqRel);
+        sh.wake();
+    }
+}
+
+/// Move this round's staging slot into the machine's inbox (`append` keeps
+/// both allocations warm) and release the ring space. The slot holds every
+/// source's deliveries in arrival order; the caller's `(src, seq)` sort
+/// makes that order deterministic.
+fn consume_round<P: Protocol>(
+    id: MachineId,
+    st: &mut MachineState<P>,
+    sh: &Shared<P::Msg>,
+    r: u64,
+) {
+    if r == 0 {
+        return;
+    }
+    let mut ring = sh.inbound[id].lock();
+    st.inbox.append(&mut ring[((r - 1) % sh.window) as usize]);
+    drop(ring);
+    sh.consumed[id].store(r, Ordering::Release);
+}
+
+fn exit<P: Protocol>(st: &mut MachineState<P>, sh: &Shared<P::Msg>) {
+    if !st.exited {
+        st.exited = true;
+        sh.exited_count.fetch_add(1, Ordering::AcqRel);
+        sh.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthMode;
+    use crate::engine::run_sync;
+
+    /// Unit tests pin the worker count ≥ 2: the ambient pool of a small CI
+    /// host would otherwise send every run down the degenerate
+    /// `run_sync` path and leave the scheduler untested.
+    fn cfg(k: usize) -> NetConfig {
+        NetConfig::new(k).with_event_workers(2)
+    }
+
+    /// Everyone broadcasts its id; everyone outputs the sum of what it saw.
+    struct GossipSum {
+        acc: u64,
+        got: usize,
+    }
+    impl Protocol for GossipSum {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.id() as u64);
+                return Step::Continue;
+            }
+            for e in ctx.inbox() {
+                self.acc += e.msg;
+                self.got += 1;
+            }
+            if self.got == ctx.k() - 1 {
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sync_engine_exactly() {
+        let cfg = cfg(8).with_seed(5);
+        let mk = || (0..8).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_event(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// Machine 0 streams values to machine 1 over a narrow link.
+    struct Stream {
+        n: u64,
+        received: u64,
+    }
+    impl Protocol for Stream {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match ctx.id() {
+                0 => {
+                    if ctx.round() == 0 {
+                        for v in 0..self.n {
+                            ctx.send(1, v);
+                        }
+                    }
+                    Step::Done(0)
+                }
+                _ => {
+                    self.received += ctx.inbox().len() as u64;
+                    if self.received == self.n {
+                        Step::Done(self.received)
+                    } else {
+                        Step::Continue
+                    }
+                }
+            }
+        }
+    }
+
+    /// A done sender keeps draining its backlog: the narrow link forces 32
+    /// transport rounds long after machine 0 produced its output, and the
+    /// round count must match the lockstep engines bit for bit.
+    #[test]
+    fn bandwidth_rounds_and_backlog_match_sync() {
+        let cfg = cfg(2).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_event(&cfg, mk()).unwrap();
+        assert_eq!(b.metrics.rounds, 32);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// Late deliveries to a finished machine are counted exactly as the
+    /// lockstep engines count them, even though the event engine's machines
+    /// consume them out of lockstep (and may speculate past the final
+    /// round).
+    struct EarlyQuit {
+        n: u64,
+        received: u64,
+    }
+    impl Protocol for EarlyQuit {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match ctx.id() {
+                0 => {
+                    if ctx.round() == 0 {
+                        for v in 0..self.n {
+                            ctx.send(1, v);
+                        }
+                        ctx.send(2, 1);
+                    }
+                    Step::Done(0)
+                }
+                1 => {
+                    // Quits after the first delivery; the rest of machine
+                    // 0's backlog arrives after done.
+                    if ctx.round() >= 1 {
+                        self.received += ctx.inbox().len() as u64;
+                        return Step::Done(self.received);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    // Keeps the run alive long enough for backlog to land.
+                    self.received += ctx.inbox().len() as u64;
+                    if ctx.round() == 6 {
+                        Step::Done(self.received)
+                    } else {
+                        Step::Continue
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivered_after_done_matches_sync() {
+        let cfg = cfg(3).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let mk = || (0..3).map(|_| EarlyQuit { n: 16, received: 0 }).collect::<Vec<_>>();
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_event(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert!(a.metrics.delivered_after_done > 0, "test must exercise late deliveries");
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    struct WaitForever;
+    impl Protocol for WaitForever {
+        type Msg = ();
+        type Output = ();
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step<()> {
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn stall_detected_without_deadlock() {
+        let cfg = cfg(4);
+        let err =
+            run_event(&cfg, vec![WaitForever, WaitForever, WaitForever, WaitForever]).unwrap_err();
+        assert!(matches!(err, EngineError::Stalled { .. }));
+    }
+
+    #[test]
+    fn max_rounds_guard_trips() {
+        let cfg = cfg(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_max_rounds(3);
+        let err =
+            run_event(&cfg, vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }])
+                .unwrap_err();
+        assert_eq!(err, EngineError::MaxRounds { limit: 3 });
+    }
+
+    struct PanicsOnRoundOne;
+    impl Protocol for PanicsOnRoundOne {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.id() == 1 {
+                panic!("intentional test panic");
+            }
+            if ctx.round() == 0 {
+                ctx.send(1, 7);
+                return Step::Continue;
+            }
+            Step::Done(0)
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_hung() {
+        let cfg = cfg(2);
+        let err = run_event(&cfg, vec![PanicsOnRoundOne, PanicsOnRoundOne]).unwrap_err();
+        assert_eq!(err, EngineError::WorkerPanic { machine: 1 });
+    }
+
+    /// Machine 2 sleeps before answering, so with several workers the other
+    /// machines finish their rounds long before it and race one iteration
+    /// past it through the slotted links — and the outcome still matches
+    /// the lockstep engine exactly.
+    struct Straggler {
+        rounds: u64,
+        acc: u64,
+    }
+    impl Protocol for Straggler {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.id() == 2 {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            for e in ctx.inbox() {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(e.msg);
+            }
+            if ctx.round() < self.rounds {
+                let dst = (ctx.id() + 1) % ctx.k();
+                ctx.send(dst, ctx.round() * 1000 + ctx.id() as u64);
+                return Step::Continue;
+            }
+            Step::Done(self.acc)
+        }
+    }
+
+    #[test]
+    fn stragglers_do_not_change_the_outcome() {
+        let cfg = NetConfig::new(4).with_seed(9).with_event_workers(3).with_event_window(4);
+        let mk = || (0..4).map(|_| Straggler { rounds: 24, acc: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&cfg, mk()).unwrap();
+        for _ in 0..3 {
+            let got = run_event(&cfg, mk()).unwrap();
+            assert_eq!(got.outputs, want.outputs);
+            assert_eq!(got.metrics, want.metrics);
+        }
+    }
+
+    #[test]
+    fn worker_count_and_window_are_pure_wall_clock_knobs() {
+        let base = NetConfig::new(6).with_seed(3);
+        let mk = || (0..6).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&base, mk()).unwrap();
+        for workers in [1, 2, 6, 16] {
+            for window in [2, 3, 8] {
+                let cfg = base.clone().with_event_workers(workers).with_event_window(window);
+                let got = run_event(&cfg, mk()).unwrap();
+                assert_eq!(got.outputs, want.outputs, "workers {workers}, window {window}");
+                assert_eq!(got.metrics, want.metrics, "workers {workers}, window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_cluster_finishes() {
+        struct Solo;
+        impl Protocol for Solo {
+            type Msg = ();
+            type Output = u64;
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, ()>) -> Step<u64> {
+                Step::Done(7)
+            }
+        }
+        // A lone machine that keeps "continuing" without traffic is a stall
+        // in every engine (there is nothing left that could wake it); one
+        // that finishes immediately reports zero rounds.
+        let cfg = NetConfig::new(1);
+        let err = run_event(&cfg, vec![WaitForever]).unwrap_err();
+        assert!(matches!(err, EngineError::Stalled { round: 0 }));
+        let out = run_event(&cfg, vec![Solo]).unwrap();
+        assert_eq!(out.outputs, vec![7]);
+        let want = run_sync(&cfg, vec![Solo]).unwrap();
+        assert_eq!(out.metrics, want.metrics);
+    }
+}

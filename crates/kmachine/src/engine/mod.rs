@@ -1,15 +1,20 @@
 //! Execution engines.
 //!
-//! Both engines drive the *same* [`Protocol`](crate::Protocol) code and — for
+//! All engines drive the *same* [`Protocol`](crate::Protocol) code and — for
 //! protocols whose behavior is a deterministic function of state, inbox, and
 //! the private RNG — produce identical outputs, round counts, and message
 //! counts. [`run_sync`] is sequential and scales to thousands of simulated
-//! machines; [`run_threaded`] runs one OS thread per machine and is the one
-//! to use for wall-clock measurements.
+//! machines; [`run_threaded`] runs one OS thread per machine with
+//! barrier-synchronized rounds; [`run_event`] drops the global barrier for
+//! per-link dependency scheduling on a small worker pool, letting fast
+//! machines run rounds ahead of slow ones — the engine to use for wall-clock
+//! measurements of batched serving.
 
+mod event;
 mod sync;
 mod threaded;
 
+pub use event::run_event;
 pub use sync::run_sync;
 pub use threaded::run_threaded;
 
@@ -22,6 +27,16 @@ use crate::error::EngineError;
 use crate::metrics::RunMetrics;
 use crate::protocol::Protocol;
 
+/// Environment variable that, when set, overrides every [`Engine::run`]
+/// call's engine choice — `sync`, `threaded`, `event`, or `auto`. Used by CI
+/// to force the whole test suite through one engine.
+pub const ENGINE_ENV: &str = "KNN_ENGINE";
+
+/// Below this much potential per-round work (`k × per-link budget bits`),
+/// [`Engine::Auto`] keeps the sequential engine: rounds are too cheap for
+/// cross-thread scheduling to pay for itself.
+const AUTO_MIN_ROUND_BITS: u64 = 2048;
+
 /// Result of a completed run.
 #[derive(Debug)]
 pub struct RunOutcome<T> {
@@ -30,7 +45,8 @@ pub struct RunOutcome<T> {
     /// Exact communication accounting.
     pub metrics: RunMetrics,
     /// Wall-clock time of the run. Physically meaningful only for the
-    /// threaded engine; for the sync engine it is simulation CPU time.
+    /// threaded and event engines; for the sync engine it is simulation CPU
+    /// time.
     pub wall: Duration,
 }
 
@@ -41,18 +57,154 @@ pub enum Engine {
     Sync,
     /// One OS thread per machine, barrier-synchronized rounds.
     Threaded,
+    /// Per-link dependency scheduling on a worker pool — no global barrier;
+    /// machines may run up to [`NetConfig::event_window`] rounds apart.
+    Event,
+    /// Pick sync / threaded / event per run from the cluster size, the
+    /// per-round payload budget, and the ambient pool size (see
+    /// [`Engine::resolve`]).
+    Auto,
 }
 
 impl Engine {
+    /// Resolve [`Engine::Auto`] to a concrete engine for `cfg`; concrete
+    /// engines resolve to themselves.
+    ///
+    /// The policy, in order:
+    /// 1. a synthetic [`NetConfig::round_latency`] needs lockstep rounds on
+    ///    real threads → `Threaded`;
+    /// 2. an effective pool of one worker (`min(rayon pool, k)`) cannot
+    ///    parallelize → `Sync`;
+    /// 3. rounds with little potential work — fewer than
+    ///    `AUTO_MIN_ROUND_BITS` of `k × per-link budget` payload bits — are
+    ///    cheaper to simulate than to schedule → `Sync`;
+    /// 4. otherwise → `Event`, the fastest engine wherever parallelism
+    ///    exists (it pipelines instead of barriering).
+    pub fn resolve(self, cfg: &NetConfig) -> Engine {
+        match self {
+            Engine::Auto => {
+                if !cfg.round_latency.is_zero() {
+                    return Engine::Threaded;
+                }
+                let pool =
+                    cfg.event_workers.unwrap_or_else(rayon::current_num_threads).min(cfg.k.max(1));
+                if pool <= 1 {
+                    return Engine::Sync;
+                }
+                let per_link = match cfg.bandwidth {
+                    crate::config::BandwidthMode::Unlimited => AUTO_MIN_ROUND_BITS,
+                    crate::config::BandwidthMode::Enforce { bits_per_round } => bits_per_round,
+                };
+                if (cfg.k as u64).saturating_mul(per_link) < AUTO_MIN_ROUND_BITS {
+                    Engine::Sync
+                } else {
+                    Engine::Event
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Short stable name for tables, CSV output, and [`ENGINE_ENV`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Sync => "sync",
+            Engine::Threaded => "threaded",
+            Engine::Event => "event",
+            Engine::Auto => "auto",
+        }
+    }
+
     /// Run `protocols` (one per machine) under `cfg`.
+    ///
+    /// The [`ENGINE_ENV`] environment variable, when set, overrides `self`;
+    /// [`Engine::Auto`] (from either source) is resolved per run via
+    /// [`Engine::resolve`].
     pub fn run<P: Protocol>(
         self,
         cfg: &NetConfig,
         protocols: Vec<P>,
     ) -> Result<RunOutcome<P::Output>, EngineError> {
-        match self {
+        match env_engine().unwrap_or(self).resolve(cfg) {
             Engine::Sync => run_sync(cfg, protocols),
             Engine::Threaded => run_threaded(cfg, protocols),
+            Engine::Event => run_event(cfg, protocols),
+            Engine::Auto => unreachable!("resolve() always returns a concrete engine"),
         }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sync" => Ok(Engine::Sync),
+            "threaded" => Ok(Engine::Threaded),
+            "event" => Ok(Engine::Event),
+            "auto" => Ok(Engine::Auto),
+            other => Err(format!("unknown engine {other:?}: expected sync|threaded|event|auto")),
+        }
+    }
+}
+
+/// The [`ENGINE_ENV`] override, if set.
+///
+/// # Panics
+/// If the variable holds an unrecognized engine name — a forced-engine CI
+/// run with a typo must fail loudly, not silently fall back.
+fn env_engine() -> Option<Engine> {
+    let v = std::env::var(ENGINE_ENV).ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        return None;
+    }
+    Some(v.parse().unwrap_or_else(|e| panic!("{ENGINE_ENV}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BandwidthMode;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for e in [Engine::Sync, Engine::Threaded, Engine::Event, Engine::Auto] {
+            assert_eq!(e.name().parse::<Engine>().unwrap(), e);
+        }
+        assert_eq!(" Event ".parse::<Engine>().unwrap(), Engine::Event);
+        assert!("barrier".parse::<Engine>().is_err());
+    }
+
+    #[test]
+    fn concrete_engines_resolve_to_themselves() {
+        let cfg = NetConfig::new(8);
+        for e in [Engine::Sync, Engine::Threaded, Engine::Event] {
+            assert_eq!(e.resolve(&cfg), e);
+        }
+    }
+
+    #[test]
+    fn auto_policy_picks_by_latency_pool_and_payload() {
+        // Latency modeling forces lockstep threads.
+        let latency =
+            NetConfig::new(8).with_round_latency(Duration::from_millis(1)).with_event_workers(8);
+        assert_eq!(Engine::Auto.resolve(&latency), Engine::Threaded);
+        // One effective worker cannot parallelize.
+        let solo = NetConfig::new(8).with_event_workers(1);
+        assert_eq!(Engine::Auto.resolve(&solo), Engine::Sync);
+        // Tiny rounds (k × budget below the threshold) stay sequential.
+        let tiny = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 512 })
+            .with_event_workers(4);
+        assert_eq!(Engine::Auto.resolve(&tiny), Engine::Sync);
+        // Real per-round work with a real pool goes event-driven.
+        let wide = NetConfig::new(8)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 512 })
+            .with_event_workers(4);
+        assert_eq!(Engine::Auto.resolve(&wide), Engine::Event);
+        let unlimited =
+            NetConfig::new(8).with_bandwidth(BandwidthMode::Unlimited).with_event_workers(4);
+        assert_eq!(Engine::Auto.resolve(&unlimited), Engine::Event);
     }
 }

@@ -45,6 +45,12 @@ use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
 
+/// Initial capacity of each staging-matrix slot (and, scaled by k, of each
+/// inbox buffer): enough for a typical bandwidth round of small messages,
+/// so the hot path starts warm instead of growing every buffer on first
+/// use.
+const STAGE_SLOT_PREALLOC: usize = 8;
+
 struct Shared<M> {
     barrier: Barrier,
     /// k×k staging matrix: slot `dst * k + src` carries messages from `src`
@@ -84,7 +90,11 @@ pub fn run_threaded<P: Protocol>(
 
     let shared = Shared::<P::Msg> {
         barrier: Barrier::new(k),
-        stage: (0..k * k).map(|_| Mutex::new(Vec::new())).collect(),
+        // Staging slots carry at most one bandwidth round of messages each;
+        // seeding a small capacity up front replaces the doubling-growth
+        // reallocations every run used to re-pay on each slot's first use
+        // (`append` then keeps the buffers warm for the rest of the run).
+        stage: (0..k * k).map(|_| Mutex::new(Vec::with_capacity(STAGE_SLOT_PREALLOC))).collect(),
         stop: AtomicBool::new(false),
         error: Mutex::new(None),
         done_count: AtomicUsize::new(0),
@@ -153,7 +163,7 @@ fn machine_main<P: Protocol>(
     // once, reused every round.
     let mut links: Vec<LinkFifo<P::Msg>> = (0..k).map(|_| LinkFifo::default()).collect();
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
-    let mut msgs: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
+    let mut msgs: Vec<Envelope<P::Msg>> = Vec::with_capacity(k * STAGE_SLOT_PREALLOC);
     let mut my_pending_bits = 0u64;
     // Thread-local per-tag totals, merged into the shared table once at
     // exit — the send path stays lock-free.

@@ -11,12 +11,17 @@
 //!
 //! * a [`Protocol`] trait — distributed algorithms are written once as
 //!   per-machine state machines driven round by round;
-//! * two engines that execute the *same* protocol code:
+//! * three engines that execute the *same* protocol code bit-identically:
 //!   * [`engine::run_sync`] — a deterministic sequential lockstep simulator
 //!     with exact round/message/bit accounting (scales to thousands of
 //!     simulated machines);
 //!   * [`engine::run_threaded`] — one OS thread per machine with
-//!     barrier-synchronized rounds, for wall-clock experiments;
+//!     barrier-synchronized rounds, for latency-modeling experiments;
+//!   * [`engine::run_event`] — no global barrier: per-link dependency
+//!     scheduling over round-slotted links on a worker pool, so fast
+//!     machines run rounds ahead of slow ones ([`Engine::Auto`] picks an
+//!     engine per run, and the `KNN_ENGINE` environment variable forces
+//!     one);
 //! * bandwidth-limited links ([`BandwidthMode::Enforce`]): each ordered link
 //!   drains at most `B` bits per round, store-and-forward, so protocols that
 //!   ship a lot of data genuinely pay for it in rounds;
@@ -88,7 +93,7 @@ pub mod rng;
 
 pub use config::{BandwidthMode, NetConfig};
 pub use ctx::Ctx;
-pub use engine::{run_sync, run_threaded, Engine, RunOutcome};
+pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, ENGINE_ENV};
 pub use error::EngineError;
 pub use link::LinkFifo;
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};

@@ -205,7 +205,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
 mod tests {
     use super::*;
     use crate::config::{BandwidthMode, NetConfig};
-    use crate::engine::{run_sync, run_threaded};
+    use crate::engine::{run_event, run_sync, run_threaded};
 
     /// Every non-leader streams `payload` values to machine 0; machine 0
     /// acknowledges once everything arrived and outputs the sum; workers
@@ -338,6 +338,11 @@ mod tests {
         assert_eq!(a.metrics.messages, c.metrics.messages);
         assert_eq!(a.metrics.bits, c.metrics.bits);
         assert_eq!(a.metrics.per_tag, c.metrics.per_tag);
+        // The event engine lets instances pipeline rounds ahead of each
+        // other; the outcome must still be the lockstep one, byte for byte.
+        let d = run_event(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, d.outputs);
+        assert_eq!(a.metrics, d.metrics);
     }
 
     #[test]

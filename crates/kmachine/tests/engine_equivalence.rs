@@ -1,9 +1,9 @@
-//! Property tests: the two engines are observationally identical for
+//! Property tests: all three engines are observationally identical for
 //! deterministic protocols, and the network conserves messages, under
 //! randomized traffic patterns.
 
-use kmachine::engine::{run_sync, run_threaded};
-use kmachine::{BandwidthMode, Ctx, NetConfig, Payload, Protocol, Step};
+use kmachine::engine::{run_event, run_sync, run_threaded};
+use kmachine::{BandwidthMode, Ctx, Engine, NetConfig, Payload, Protocol, Step};
 use proptest::prelude::*;
 use rand::RngExt;
 
@@ -104,7 +104,7 @@ fn scatter_run(
     seed: u64,
     bits_per_round: u64,
     max_msgs: usize,
-    threaded: bool,
+    engine: Engine,
 ) -> (Vec<(u64, u64)>, u64, u64) {
     let cfg =
         NetConfig::new(k).with_seed(seed).with_bandwidth(BandwidthMode::Enforce { bits_per_round });
@@ -117,8 +117,12 @@ fn scatter_run(
             received_data: 0,
         })
         .collect();
-    let out = if threaded { run_threaded(&cfg, protos) } else { run_sync(&cfg, protos) }
-        .expect("scatter run");
+    let out = match engine {
+        Engine::Sync => run_sync(&cfg, protos),
+        Engine::Threaded => run_threaded(&cfg, protos),
+        _ => run_event(&cfg, protos),
+    }
+    .expect("scatter run");
     (out.outputs, out.metrics.messages, out.metrics.bits)
 }
 
@@ -131,11 +135,13 @@ proptest! {
         bits in prop_oneof![Just(64u64), Just(512), Just(4096)],
         max_msgs in 0usize..12,
     ) {
-        let a = scatter_run(k, seed, bits, max_msgs, false);
-        let b = scatter_run(k, seed, bits, max_msgs, true);
-        prop_assert_eq!(&a.0, &b.0, "per-machine digests must match");
-        prop_assert_eq!(a.1, b.1, "message totals must match");
-        prop_assert_eq!(a.2, b.2, "bit totals must match");
+        let a = scatter_run(k, seed, bits, max_msgs, Engine::Sync);
+        for engine in [Engine::Threaded, Engine::Event] {
+            let b = scatter_run(k, seed, bits, max_msgs, engine);
+            prop_assert_eq!(&a.0, &b.0, "per-machine digests must match ({:?})", engine);
+            prop_assert_eq!(a.1, b.1, "message totals must match ({:?})", engine);
+            prop_assert_eq!(a.2, b.2, "bit totals must match ({:?})", engine);
+        }
     }
 
     #[test]
@@ -144,7 +150,7 @@ proptest! {
         seed in any::<u64>(),
         max_msgs in 0usize..12,
     ) {
-        let (outputs, sent_total, _) = scatter_run(k, seed, 256, max_msgs, false);
+        let (outputs, sent_total, _) = scatter_run(k, seed, 256, max_msgs, Engine::Sync);
         let received: u64 = outputs.iter().map(|&(_, r)| r).sum();
         let headers = (k * (k - 1)) as u64;
         prop_assert_eq!(

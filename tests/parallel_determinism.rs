@@ -1,13 +1,14 @@
 //! Determinism under real parallelism.
 //!
-//! The rayon shim now runs pipelines on a genuine work-stealing pool, and
-//! the workload generators / cluster load path ride on it. These tests pin
-//! the contract that makes that safe: **pool size is a pure wall-clock
-//! knob** — every generated dataset, every query answer, and every engine
-//! `RunOutcome` (outputs *and* metrics) is bit-identical at pool sizes
-//! 1, 2, and 8, on both the sync and the threaded engine.
+//! The rayon shim runs pipelines on a genuine work-stealing pool, the
+//! workload generators / cluster load path ride on it, and the event engine
+//! additionally schedules machines on a worker pool sized from it. These
+//! tests pin the contract that makes all of that safe: **pool size is a
+//! pure wall-clock knob** — every generated dataset, every query answer,
+//! and every engine `RunOutcome` (outputs *and* metrics) is bit-identical
+//! at pool sizes 1, 2, and 8, on the sync, threaded, and event engines.
 
-use kmachine::engine::{run_sync, run_threaded};
+use kmachine::engine::{run_event, run_sync, run_threaded};
 use kmachine::{
     BandwidthMode, Ctx, MuxOutput, MuxProtocol, NetConfig, Payload, Protocol, RunMetrics,
     RunOutcome, Step,
@@ -20,6 +21,8 @@ use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 const POOLS: [usize; 3] = [1, 2, 8];
+const ENGINES: [kmachine::Engine; 3] =
+    [kmachine::Engine::Sync, kmachine::Engine::Threaded, kmachine::Engine::Event];
 
 fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(f)
@@ -55,8 +58,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// The full serving pipeline — parallel generation, parallel index
-    /// build, mux'd batch run — is bit-identical across pool sizes on both
-    /// engines.
+    /// build, mux'd batch run — is bit-identical across pool sizes on all
+    /// three engines.
     #[test]
     fn prop_pipeline_identical_across_pool_sizes(
         seed in 0u64..1000,
@@ -67,7 +70,7 @@ proptest! {
             let reference = with_pool(1, || {
                 scalar_pipeline(kmachine::Engine::Sync, seed, k, ell, algo)
             });
-            for engine in [kmachine::Engine::Sync, kmachine::Engine::Threaded] {
+            for engine in ENGINES {
                 for pool in POOLS {
                     let got = with_pool(pool, || scalar_pipeline(engine, seed, k, ell, algo));
                     prop_assert_eq!(
@@ -173,12 +176,15 @@ fn mux_run(engine: kmachine::Engine, seed: u64) -> RunOutcome<MuxOutput<u64>> {
 }
 
 /// Raw engine-level `RunOutcome` (outputs + metrics) is bit-identical
-/// across pool sizes on both engines, including per-tag attribution.
+/// across pool sizes on all three engines, including per-tag attribution.
+/// For the event engine the pool size additionally sizes its scheduler's
+/// worker pool, so this is the 3-engine × pool {1, 2, 8} matrix of the
+/// barrier-removal contract.
 #[test]
 fn mux_run_outcome_identical_across_pool_sizes() {
     for seed in [1u64, 42, 977] {
         let reference = with_pool(1, || mux_run(kmachine::Engine::Sync, seed));
-        for engine in [kmachine::Engine::Sync, kmachine::Engine::Threaded] {
+        for engine in ENGINES {
             for pool in POOLS {
                 let got = with_pool(pool, || mux_run(engine, seed));
                 assert_eq!(got.outputs, reference.outputs, "pool {pool}, {engine:?}");
@@ -188,7 +194,7 @@ fn mux_run_outcome_identical_across_pool_sizes() {
     }
 }
 
-/// The raw sync/threaded runs above go through `Engine::run`; pin the free
+/// The raw engine runs above go through `Engine::run`; pin the free
 /// functions too, since the bench bins call them directly.
 #[test]
 fn free_function_engines_agree() {
@@ -200,6 +206,54 @@ fn free_function_engines_agree() {
     let b = run_threaded(&cfg, mk()).expect("threaded");
     assert_eq!(a.outputs, b.outputs);
     assert_eq!(a.metrics, b.metrics);
+    let c = run_event(&cfg, mk()).expect("event");
+    assert_eq!(a.outputs, c.outputs);
+    assert_eq!(a.metrics, c.metrics);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Metrics conservation under the event engine: with machines running
+    /// rounds ahead of each other (skewed payloads over enforced bandwidth,
+    /// multi-worker scheduling), the per-tag message/bit totals of a mux'd
+    /// run still partition the aggregate `RunMetrics` exactly, and the
+    /// whole metrics struct matches `run_sync` byte for byte.
+    #[test]
+    fn prop_event_mux_metrics_conserve_and_match_sync(
+        seed in any::<u64>(),
+        k in 2usize..6,
+        payloads in proptest::collection::vec(0u64..32, 1..6),
+    ) {
+        let cfg = NetConfig::new(k)
+            .with_seed(seed)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 });
+        let mk = || {
+            (0..k)
+                .map(|_| {
+                    MuxProtocol::new(
+                        payloads
+                            .iter()
+                            .map(|&p| StreamSum { payload: p, acc: 0, finished: 0 })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let want = run_sync(&cfg, mk()).expect("sync mux run");
+        for pool in POOLS {
+            let got = with_pool(pool, || run_event(&cfg, mk())).expect("event mux run");
+            prop_assert_eq!(&got.outputs, &want.outputs, "outputs diverged at pool {}", pool);
+            prop_assert_eq!(&got.metrics, &want.metrics, "metrics diverged at pool {}", pool);
+            // Every message of a mux'd run carries a tag, so the per-tag
+            // table is a partition of the aggregate, not just a subset.
+            prop_assert_eq!(got.metrics.per_tag.len(), payloads.len());
+            let tag_msgs: u64 = got.metrics.per_tag.iter().map(|t| t.messages).sum();
+            let tag_bits: u64 = got.metrics.per_tag.iter().map(|t| t.bits).sum();
+            prop_assert_eq!(tag_msgs, got.metrics.messages, "per-tag messages must partition");
+            prop_assert_eq!(tag_bits, got.metrics.bits, "per-tag bits must partition");
+        }
+    }
 }
 
 /// Vector pipeline (chunked parallel Gaussian generation + parallel k-d
