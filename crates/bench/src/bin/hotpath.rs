@@ -14,16 +14,21 @@
 //!    ≥ 4 is enforced only when the host actually offers ≥ 4 CPUs (you
 //!    cannot buy parallelism the kernel doesn't offer, and a 1-CPU runner
 //!    must not assert impossible parallelism).
-//! 2. **Engine loop rounds/sec + allocations.** A bandwidth-bound all-pairs
-//!    streaming protocol is pushed through all three engines — sync,
-//!    threaded (k OS threads, 3 barriers/round), and event (per-link
-//!    dependency scheduling on a worker pool, one row per `--pools` entry).
-//!    Each row reports simulated rounds per second (best of
-//!    `ENGINE_REPS` repetitions) and — via a counting global allocator —
-//!    heap allocations per round. Asserted: the event engine at one worker
-//!    stays within 10% of sync (the scheduler must cost only watermark
-//!    bookkeeping), and at pool ≥ 2 it beats the threaded engine's
-//!    rounds/sec (the whole point of removing the barrier).
+//! 2. **Engine × delivery-mode loop rounds/sec + allocations.** A
+//!    bandwidth-bound all-pairs streaming protocol is pushed through all
+//!    three engines — sync, threaded (k OS threads, 3 barriers/round), and
+//!    event (per-link dependency scheduling on a worker pool, one row per
+//!    `--pools` entry) — with the event engine measured under **both
+//!    delivery modes** (exact lockstep-equivalent delivery, and relaxed
+//!    PANDA-style quiescence promises). Each row reports simulated rounds
+//!    per second (best of `ENGINE_REPS` repetitions) and — via a counting
+//!    global allocator — heap allocations per round. Asserted: the event
+//!    engine at one worker stays within 10% of sync (the scheduler must
+//!    cost only watermark bookkeeping), at pool ≥ 2 it beats the threaded
+//!    engine's rounds/sec (the whole point of removing the barrier), and
+//!    relaxed delivery stays within 10% of exact at every pool (promise
+//!    bookkeeping must be ~free even when the workload offers little to
+//!    pipeline).
 //! 3. **Transport micro: dense lattice vs `HashMap` links.** The engines'
 //!    per-round transport loop is replayed over the dense `Vec<LinkFifo>`
 //!    lattice the engines use and over the `HashMap<(dst, src), LinkFifo>`
@@ -47,7 +52,7 @@ use std::time::Instant;
 
 use kmachine::{
     engine::{run_event, run_sync, run_threaded},
-    BandwidthMode, Ctx, Envelope, LinkFifo, NetConfig, Payload, Protocol, Step,
+    BandwidthMode, Ctx, DeliveryMode, Envelope, LinkFifo, NetConfig, Payload, Protocol, Step,
 };
 use knn_bench::args::Args;
 use knn_bench::table::Table;
@@ -147,6 +152,7 @@ struct GenRow {
 #[derive(Debug)]
 struct EngineRow {
     engine: String,
+    delivery: String,
     pool: usize,
     rounds: u64,
     seconds: f64,
@@ -393,17 +399,28 @@ fn main() {
             .map(|_| AllPairsStream { n: stream, expected, received: 0, checksum: 0 })
             .collect::<Vec<_>>()
     };
-    // (engine name, pool column, config). The sync and threaded engines
-    // have fixed concurrency (1 and k); the event engine gets one row per
-    // requested pool size — its scheduler's worker count.
-    let mut engine_cfgs: Vec<(&str, usize, NetConfig)> =
-        vec![("sync", 1, cfg.clone()), ("threaded", k, cfg.clone())];
-    for &pool in &pools {
-        engine_cfgs.push(("event", pool, cfg.clone().with_event_workers(pool)));
+    // (engine name, delivery mode, pool column, config). The sync and
+    // threaded engines have fixed concurrency (1 and k) and are inherently
+    // exact; the event engine gets one row per requested pool size — its
+    // scheduler's worker count — under each delivery mode, so the report
+    // is the full engine × mode table.
+    let mut engine_cfgs: Vec<(&str, DeliveryMode, usize, NetConfig)> = vec![
+        ("sync", DeliveryMode::Exact, 1, cfg.clone()),
+        ("threaded", DeliveryMode::Exact, k, cfg.clone()),
+    ];
+    for mode in [DeliveryMode::Exact, DeliveryMode::Relaxed] {
+        for &pool in &pools {
+            engine_cfgs.push((
+                "event",
+                mode,
+                pool,
+                cfg.clone().with_event_workers(pool).with_delivery(mode),
+            ));
+        }
     }
     let mut engine_rows: Vec<EngineRow> = Vec::new();
     let mut checksum: Option<Vec<u64>> = None;
-    for (name, pool, run_cfg) in &engine_cfgs {
+    for (name, mode, pool, run_cfg) in &engine_cfgs {
         let mut seconds = f64::INFINITY;
         let mut rounds = 0;
         let mut allocs = 0;
@@ -415,7 +432,7 @@ fn main() {
                 "threaded" => run_threaded(run_cfg, mk()),
                 _ => run_event(run_cfg, mk()),
             }
-            .unwrap_or_else(|e| panic!("{name} run failed: {e}"));
+            .unwrap_or_else(|e| panic!("{name} ({}) run failed: {e}", mode.name()));
             seconds = seconds.min(start.elapsed().as_secs_f64());
             if rep == 0 {
                 allocs = allocations() - before;
@@ -423,14 +440,17 @@ fn main() {
                 match &checksum {
                     None => checksum = Some(out.outputs),
                     Some(want) => assert_eq!(
-                        &out.outputs, want,
-                        "engine {name} (pool {pool}) diverged from the reference outputs"
+                        &out.outputs,
+                        want,
+                        "engine {name} ({}, pool {pool}) diverged from the reference outputs",
+                        mode.name()
                     ),
                 }
             }
         }
         engine_rows.push(EngineRow {
             engine: name.to_string(),
+            delivery: mode.name().to_string(),
             pool: *pool,
             rounds,
             seconds,
@@ -439,11 +459,19 @@ fn main() {
         });
     }
 
-    let mut engine_table =
-        Table::new(&["engine", "pool", "rounds", "seconds", "rounds/s", "allocs/round"]);
+    let mut engine_table = Table::new(&[
+        "engine",
+        "delivery",
+        "pool",
+        "rounds",
+        "seconds",
+        "rounds/s",
+        "allocs/round",
+    ]);
     for r in &engine_rows {
         engine_table.row(vec![
             r.engine.clone(),
+            r.delivery.clone(),
             r.pool.to_string(),
             r.rounds.to_string(),
             format!("{:.3}", r.seconds),
@@ -454,20 +482,20 @@ fn main() {
     println!("\n-- engine loop (all-pairs stream of {stream} words, B = 512) --");
     engine_table.print();
 
-    let rps = |name: &str, pool: usize| {
+    let rps = |name: &str, delivery: &str, pool: usize| {
         engine_rows
             .iter()
-            .find(|r| r.engine == name && r.pool == pool)
+            .find(|r| r.engine == name && r.delivery == delivery && r.pool == pool)
             .map(|r| r.rounds_per_sec)
             .unwrap_or(0.0)
     };
-    let sync_rps = rps("sync", 1);
-    let threaded_rps = rps("threaded", k);
+    let sync_rps = rps("sync", "exact", 1);
+    let threaded_rps = rps("threaded", "exact", k);
     // Barrier-removal bars. Neither needs multiple CPUs — a one-worker
     // event run measures pure scheduler overhead, and beating the threaded
     // engine on a small host only requires not paying 3k barrier waits per
     // round — so both are asserted on every host.
-    let event_seq = rps("event", 1);
+    let event_seq = rps("event", "exact", 1);
     if event_seq > 0.0 {
         assert!(
             event_seq >= sync_rps * 0.9,
@@ -481,7 +509,7 @@ fn main() {
     }
     if let Some(best_parallel) = engine_rows
         .iter()
-        .filter(|r| r.engine == "event" && r.pool >= 2)
+        .filter(|r| r.engine == "event" && r.delivery == "exact" && r.pool >= 2)
         .map(|r| r.rounds_per_sec)
         .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
     {
@@ -494,6 +522,25 @@ fn main() {
             "event@pool>=2 vs threaded: {:.2}x rounds/sec (> 1x required) -> ok",
             best_parallel / threaded_rps.max(1e-12)
         );
+    }
+    // Relaxed vs exact, pool by pool: promises must not tax the round
+    // loop (10% noise margin, same as the other bars; on this all-pairs
+    // workload every machine streams until the end, so the promise path
+    // measures pure bookkeeping cost, the floor of the relaxed win).
+    for &pool in &pools {
+        let exact = rps("event", "exact", pool);
+        let relaxed = rps("event", "relaxed", pool);
+        if exact > 0.0 && relaxed > 0.0 {
+            assert!(
+                relaxed >= exact * 0.9,
+                "relaxed delivery at pool {pool} ({relaxed:.0} rounds/s) regressed more than \
+                 10% below exact ({exact:.0} rounds/s)"
+            );
+            println!(
+                "event relaxed vs exact @{pool}: {:.2}x rounds/sec (>= 0.9x required) -> ok",
+                relaxed / exact.max(1e-12)
+            );
+        }
     }
 
     // -- Section 3: transport loop, dense lattice vs HashMap baseline --------
@@ -613,7 +660,7 @@ fn main() {
         })
         .chain(report.engine.iter().map(|r| {
             vec![
-                format!("engine-{}@{}", r.engine, r.pool),
+                format!("engine-{}-{}@{}", r.engine, r.delivery, r.pool),
                 r.rounds.to_string(),
                 format!("{:.4}", r.seconds),
                 format!("{:.1}", r.rounds_per_sec),

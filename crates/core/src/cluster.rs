@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use kmachine::{BandwidthMode, Engine, MachineId, RunMetrics};
+use kmachine::{BandwidthMode, DeliveryMode, Engine, MachineId, RunMetrics, SkewMetrics};
 use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
 use knn_workloads::PartitionStrategy;
 
@@ -65,6 +65,10 @@ pub struct BatchAnswer {
     /// Aggregate communication costs of the batch's single engine run
     /// (`per_tag` splits messages/bits by query).
     pub metrics: RunMetrics,
+    /// Pipelining evidence when the batch ran under relaxed delivery on
+    /// the event engine — per-machine max round skew and promise counters;
+    /// empty ([`SkewMetrics::tracked`] is false) otherwise.
+    pub skew: SkewMetrics,
     /// Wall-clock time of the batch run.
     pub wall: Duration,
     /// The leader that coordinated every query in the batch.
@@ -125,6 +129,18 @@ impl ClusterBuilder {
     /// engine; the `KNN_ENGINE` environment variable overrides this choice.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.opts.engine = engine;
+        self
+    }
+
+    /// Delivery discipline of the event engine.
+    /// [`DeliveryMode::Relaxed`] lets machines pipeline several rounds past
+    /// quiet peers (PANDA-style quiescence promises) — answers and metrics
+    /// are identical to exact delivery, and the realized overlap is
+    /// reported in [`BatchAnswer::skew`]. Ignored by the sync and threaded
+    /// engines; the `KNN_DELIVERY` environment variable overrides this
+    /// choice.
+    pub fn delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.opts.delivery = delivery;
         self
     }
 
@@ -226,6 +242,14 @@ impl<P: IndexedPoint> KnnCluster<P> {
     /// ([`Engine::Event`]) on a live cluster.
     pub fn set_engine(&mut self, engine: Engine) {
         self.opts.engine = engine;
+    }
+
+    /// Switch the event engine's delivery discipline on a live cluster —
+    /// the relaxed-mode counterpart of [`Self::set_engine`]. Answers and
+    /// metrics are delivery-invariant; only wall-clock overlap (and the
+    /// [`BatchAnswer::skew`] evidence) changes.
+    pub fn set_delivery(&mut self, delivery: DeliveryMode) {
+        self.opts.delivery = delivery;
     }
 
     /// Distribute a global dataset across the machines.
@@ -379,6 +403,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
         BatchAnswer {
             answers,
             metrics: out.metrics,
+            skew: out.skew,
             wall: out.wall,
             leader: out.leader,
             election_metrics: out.election_metrics,

@@ -6,7 +6,8 @@ use std::time::Duration;
 
 use kmachine::leader::{RandRankFlood, RandRankStar};
 use kmachine::{
-    BandwidthMode, Engine, MachineId, NetConfig, RunMetrics, ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
+    BandwidthMode, DeliveryMode, Engine, MachineId, NetConfig, RunMetrics, SkewMetrics,
+    ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
 };
 use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
@@ -73,6 +74,12 @@ pub struct QueryOptions {
     pub engine: Engine,
     /// Link bandwidth.
     pub bandwidth: BandwidthMode,
+    /// Delivery discipline of the event engine: [`DeliveryMode::Relaxed`]
+    /// lets machines pipeline past quiet peers (answers and metrics are
+    /// identical; [`QueryOutcome::skew`] reports the realized overlap).
+    /// Ignored by the sync and threaded engines; the `KNN_DELIVERY`
+    /// environment variable overrides this field for every run.
+    pub delivery: DeliveryMode,
     /// Master seed for all protocol randomness.
     pub seed: u64,
     /// Distance metric.
@@ -94,6 +101,7 @@ impl Default for QueryOptions {
             bandwidth: BandwidthMode::Enforce {
                 bits_per_round: kmachine::config::DEFAULT_BANDWIDTH_BITS,
             },
+            delivery: DeliveryMode::Exact,
             seed: 0,
             metric: Metric::Euclidean,
             params: KnnParams::default(),
@@ -109,6 +117,7 @@ impl QueryOptions {
         NetConfig::new(k)
             .with_seed(self.seed)
             .with_bandwidth(self.bandwidth)
+            .with_delivery(self.delivery)
             .with_round_latency(self.round_latency)
             .with_max_rounds(self.max_rounds)
     }
@@ -143,6 +152,10 @@ pub struct QueryOutcome {
     pub local_keys: Vec<Vec<DistKey>>,
     /// Communication costs of the main protocol.
     pub metrics: RunMetrics,
+    /// Pipelining evidence when the main protocol ran under relaxed
+    /// delivery on the event engine (machine skew, promise counters);
+    /// empty otherwise.
+    pub skew: SkewMetrics,
     /// Wall-clock time of the main protocol run.
     pub wall: Duration,
     /// The elected leader.
@@ -211,6 +224,7 @@ pub fn run_query<P: Point>(
             Ok(QueryOutcome {
                 local_keys: out.outputs.into_iter().map(|o| o.keys).collect(),
                 metrics: out.metrics,
+                skew: out.skew,
                 wall: out.wall,
                 leader,
                 election_metrics,
@@ -225,6 +239,7 @@ pub fn run_query<P: Point>(
             Ok(QueryOutcome {
                 local_keys: out.outputs,
                 metrics: out.metrics,
+                skew: out.skew,
                 wall: out.wall,
                 leader,
                 election_metrics,
@@ -253,6 +268,7 @@ pub fn run_query<P: Point>(
             Ok(QueryOutcome {
                 local_keys: out.outputs,
                 metrics: out.metrics,
+                skew: out.skew,
                 wall: out.wall,
                 leader,
                 election_metrics,
@@ -266,6 +282,7 @@ pub fn run_query<P: Point>(
             Ok(QueryOutcome {
                 local_keys: out.outputs,
                 metrics: out.metrics,
+                skew: out.skew,
                 wall: out.wall,
                 leader,
                 election_metrics,
@@ -287,6 +304,8 @@ pub struct ApproxOutcome {
     pub contains_exact: bool,
     /// Communication costs.
     pub metrics: RunMetrics,
+    /// Pipelining evidence of a relaxed event run (empty otherwise).
+    pub skew: SkewMetrics,
     /// Wall-clock time of the run.
     pub wall: Duration,
     /// The elected leader.
@@ -327,6 +346,7 @@ pub fn run_approx_query<P: Point>(
         total,
         contains_exact,
         metrics: out.metrics,
+        skew: out.skew,
         wall: out.wall,
         leader,
         election_metrics,

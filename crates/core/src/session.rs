@@ -26,12 +26,15 @@
 //! [`kmachine::Engine::Event`], which runs the batch without any global
 //! round barrier (machines synchronize only against their slowest peer's
 //! previous round), and [`kmachine::Engine::Auto`], which picks an engine
-//! per batch. Answers and metrics are engine-invariant.
+//! per batch. With [`kmachine::DeliveryMode::Relaxed`] the event engine
+//! additionally pipelines machines several rounds past quiet peers
+//! (reported via [`BatchOutcome::skew`]). Answers and metrics are engine-
+//! and delivery-invariant.
 
 use std::time::Duration;
 
 use kmachine::mux::{MuxOutput, MuxProtocol};
-use kmachine::{MachineId, Protocol, RunMetrics, TagMetrics};
+use kmachine::{MachineId, Protocol, RunMetrics, SkewMetrics, TagMetrics};
 use knn_points::{Dataset, DistKey, Metric};
 
 use crate::error::CoreError;
@@ -72,6 +75,9 @@ pub struct BatchOutcome {
     /// Aggregate communication costs of the whole batch run (one engine
     /// run; `per_tag` splits messages/bits by query).
     pub metrics: RunMetrics,
+    /// Pipelining evidence when the batch ran under relaxed delivery on
+    /// the event engine (machine skew, promise counters); empty otherwise.
+    pub skew: SkewMetrics,
     /// Wall-clock time of the batch run.
     pub wall: Duration,
     /// The session leader that coordinated every query.
@@ -265,7 +271,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             MachineId,
         ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>),
     {
-        let kmachine::RunOutcome { mut outputs, metrics, wall } = out;
+        let kmachine::RunOutcome { mut outputs, metrics, skew, wall } = out;
         let queries = (0..m)
             .map(|j| {
                 let (local_keys, stats, approx_total, contains_exact) =
@@ -286,6 +292,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         BatchOutcome {
             queries,
             metrics,
+            skew,
             wall,
             leader: self.leader,
             election_metrics: self.election_metrics.clone(),
@@ -296,6 +303,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         BatchOutcome {
             queries: Vec::new(),
             metrics: RunMetrics::new(k),
+            skew: SkewMetrics::default(),
             wall: Duration::ZERO,
             leader: self.leader,
             election_metrics: self.election_metrics.clone(),

@@ -38,6 +38,58 @@ impl BandwidthMode {
 /// number of `(value, id)` keys per round, the model's `Θ(log n)` regime.
 pub const DEFAULT_BANDWIDTH_BITS: u64 = 512;
 
+/// Delivery discipline of the event engine.
+///
+/// Lockstep simulation on a complete graph has an inherent skew bound: a
+/// machine's round-r inbox is defined only once *every* peer has finished
+/// its round r−1 transport, because an **empty** transport is information
+/// too. [`DeliveryMode::Relaxed`] recovers multi-round pipelining (the
+/// PANDA-style idea) by letting senders substitute a *quiescence promise*
+/// — "nothing from me before round X", published when a done machine's
+/// backlog drains or a protocol declares a silent horizon via
+/// [`crate::Protocol::quiet_until`] — for the empty transports themselves,
+/// so a machine may run up to [`NetConfig::event_window`] − 1 rounds ahead
+/// of a quiet peer. Outputs, rounds, and every [`crate::RunMetrics`] field
+/// are identical in both modes (promises only ever replace provably-empty
+/// transports); what changes is wall-clock overlap, reported through
+/// [`crate::metrics::SkewMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryMode {
+    /// Bit-exact complete-graph delivery: every receiver observes every
+    /// peer's transport each round, even an empty one. Machine skew is
+    /// bounded at one round.
+    #[default]
+    Exact,
+    /// Quiescence promises may stand in for empty transports: machines run
+    /// ahead of quiet peers, bounded by the staging-ring depth
+    /// ([`NetConfig::event_window`]).
+    Relaxed,
+}
+
+impl DeliveryMode {
+    /// Short stable name for tables, CSV output, and the `KNN_DELIVERY`
+    /// environment variable.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeliveryMode::Exact => "exact",
+            DeliveryMode::Relaxed => "relaxed",
+        }
+    }
+}
+
+impl std::str::FromStr for DeliveryMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" => Ok(DeliveryMode::Exact),
+            "relaxed" => Ok(DeliveryMode::Relaxed),
+            "" => Err("empty delivery mode: expected exact|relaxed".to_string()),
+            other => Err(format!("unknown delivery mode {other:?}: expected exact|relaxed")),
+        }
+    }
+}
+
 /// Configuration of a simulated cluster run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetConfig {
@@ -59,17 +111,24 @@ pub struct NetConfig {
     /// outputs and metrics are identical at every value.
     pub event_workers: Option<usize>,
     /// Depth of the event engine's per-destination staging rings (slots of
-    /// in-flight rounds). Also a pure wall-clock knob; clamped to ≥ 2 — at
+    /// in-flight rounds). A pure wall-clock knob; clamped to ≥ 2 — at
     /// depth 1 a machine's transport of round r would wait for every peer
     /// to consume round r while their consumption waits on the same
     /// round's publishes, re-creating the lockstep circular wait the
-    /// engine exists to avoid. Values above 2 change nothing today:
-    /// bit-exact complete-graph delivery bounds machine skew at one round
-    /// (a machine must see every peer's previous transport, even an empty
-    /// one, before its inbox is defined), so at most two slots are ever in
-    /// flight. The knob is kept for ring geometry and for relaxed-delivery
-    /// experiments the ROADMAP sketches.
+    /// engine exists to avoid. Under [`DeliveryMode::Exact`] values above 2
+    /// change nothing: bit-exact complete-graph delivery bounds machine
+    /// skew at one round (a machine must see every peer's previous
+    /// transport, even an empty one, before its inbox is defined), so at
+    /// most two slots are ever in flight. Under [`DeliveryMode::Relaxed`]
+    /// the window is the real run-ahead budget: a machine may execute up to
+    /// `event_window − 1` rounds past a quiet peer, so deeper rings buy
+    /// genuine pipelining depth.
     pub event_window: u64,
+    /// Delivery discipline of the event engine (the sync and threaded
+    /// engines are inherently exact and ignore this). See [`DeliveryMode`];
+    /// the `KNN_DELIVERY` environment variable overrides it for every
+    /// [`crate::Engine::run`] call.
+    pub delivery: DeliveryMode,
 }
 
 /// Default event-engine run-ahead window: deep enough to absorb scheduling
@@ -88,6 +147,7 @@ impl NetConfig {
             round_latency: Duration::ZERO,
             event_workers: None,
             event_window: DEFAULT_EVENT_WINDOW,
+            delivery: DeliveryMode::Exact,
         }
     }
 
@@ -125,6 +185,12 @@ impl NetConfig {
     /// [`NetConfig::event_window`]).
     pub fn with_event_window(mut self, window: u64) -> Self {
         self.event_window = window.max(2);
+        self
+    }
+
+    /// Set the event engine's delivery discipline (see [`DeliveryMode`]).
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.delivery = delivery;
         self
     }
 }
@@ -167,8 +233,24 @@ mod tests {
         let cfg = NetConfig::new(2);
         assert_eq!(cfg.event_workers, None);
         assert_eq!(cfg.event_window, DEFAULT_EVENT_WINDOW);
+        assert_eq!(cfg.delivery, DeliveryMode::Exact);
         let cfg = cfg.with_event_workers(0).with_event_window(0);
         assert_eq!(cfg.event_workers, Some(1));
         assert_eq!(cfg.event_window, 2);
+        let cfg = cfg.with_delivery(DeliveryMode::Relaxed);
+        assert_eq!(cfg.delivery, DeliveryMode::Relaxed);
+    }
+
+    #[test]
+    fn delivery_mode_parses_normalized() {
+        for mode in [DeliveryMode::Exact, DeliveryMode::Relaxed] {
+            assert_eq!(mode.name().parse::<DeliveryMode>().unwrap(), mode);
+        }
+        assert_eq!(" Relaxed \n".parse::<DeliveryMode>().unwrap(), DeliveryMode::Relaxed);
+        assert_eq!("EXACT".parse::<DeliveryMode>().unwrap(), DeliveryMode::Exact);
+        let err = "lossy".parse::<DeliveryMode>().unwrap_err();
+        assert!(err.contains("exact|relaxed"), "error must list the variants: {err}");
+        let err = "   ".parse::<DeliveryMode>().unwrap_err();
+        assert!(err.contains("exact|relaxed"), "empty input lists the variants too: {err}");
     }
 }

@@ -30,6 +30,21 @@
 //!   there are no 3k barrier waits per round, k machines share a few
 //!   worker threads instead of owning one each, and a machine's
 //!   synchronization is wait-free whenever its peers have kept pace;
+//! * under [`DeliveryMode::Relaxed`] the one-round bound itself falls:
+//!   senders publish **quiescence promises** — a monotone per-machine
+//!   round horizon meaning "no messages from me before round X" — when a
+//!   done machine's backlog drains (horizon ∞) or a protocol declares a
+//!   silent phase via [`Protocol::quiet_until`] and its FIFOs are empty.
+//!   The readiness check accepts a peer's promise in place of its
+//!   published (empty) transport, so a machine runs up to `window − 1`
+//!   rounds ahead of a quiet peer — real multi-round pipelining, PANDA
+//!   style. A promise only ever substitutes for a **provably empty**
+//!   transport, so every inbox is byte-identical to the lockstep engines'
+//!   and outputs, rounds, and all of [`RunMetrics`] are unchanged; a send
+//!   inside a promised window aborts the run with
+//!   [`EngineError::PromiseViolated`] (promises are load-bearing and can
+//!   never be revoked). The realized overlap is reported via
+//!   [`SkewMetrics`] on the outcome;
 //! * machines are cooperatively-scheduled tasks on a small worker pool
 //!   ([`NetConfig::event_workers`], default: the ambient rayon pool size),
 //!   not one OS thread each — and a pool of **one** worker takes the
@@ -56,13 +71,13 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
-use crate::config::NetConfig;
+use crate::config::{DeliveryMode, NetConfig};
 use crate::ctx::Ctx;
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::{RunMetrics, TagMetrics};
+use crate::metrics::{RunMetrics, SkewMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
@@ -101,8 +116,8 @@ struct MachineState<P: Protocol> {
     /// Non-empty inbox rounds consumed after this machine was done, as
     /// `(round, count)`. Finalization keeps only rounds the lockstep
     /// engines would have executed (`round ≤ final_round`), discarding
-    /// speculative overshoot (at most one round: a machine can race one
-    /// iteration past the finisher before observing `stop`).
+    /// speculative overshoot (one round under exact delivery; up to
+    /// `window` rounds when promises let a machine race ahead).
     late: Vec<(u64, u64)>,
     messages: u64,
     bits: u64,
@@ -110,6 +125,18 @@ struct MachineState<P: Protocol> {
     max_backlog: u64,
     tags: Vec<TagMetrics>,
     exited: bool,
+    /// Relaxed delivery: this machine's own outstanding silence horizon
+    /// (monotone mirror of `Shared::promised[id]`), used to detect
+    /// promise violations without re-reading the atomic.
+    promise: u64,
+    /// Relaxed delivery: max of `executing round − slowest peer's
+    /// published round` this machine ever observed at readiness.
+    max_skew: u64,
+    /// Relaxed delivery: rounds executed with a promise standing in for at
+    /// least one peer's unpublished transport.
+    promised_rounds: u64,
+    /// Relaxed delivery: promise-horizon extensions this machine published.
+    promises: u64,
 }
 
 /// Cross-machine coordination state.
@@ -123,6 +150,14 @@ struct Shared<M> {
     published: Vec<AtomicU64>,
     /// Rounds machine i has consumed; gates writers of its staging ring.
     consumed: Vec<AtomicU64>,
+    /// Relaxed delivery only: quiescence promises. `promised[i] = q` means
+    /// machine i's unexecuted transport phases before round `q` are
+    /// guaranteed empty (its backlog was drained and it will not send in
+    /// any round `< q`), so peers may execute rounds `≤ q` without its
+    /// publishes. Monotone (`fetch_max`); `u64::MAX` = silent forever.
+    promised: Vec<AtomicU64>,
+    /// Whether promises participate in readiness (cfg.delivery).
+    relaxed: bool,
     /// Per-destination round-slotted staging rings.
     inbound: Vec<InboundRing<M>>,
     /// All machines finished (or an error was recorded); exit after
@@ -185,6 +220,14 @@ impl<M> Shared<M> {
 /// *is* the lockstep order, so it runs [`run_sync`]'s loop and pays zero
 /// scheduling overhead. The outcome is identical by the engine contract.
 ///
+/// Under [`NetConfig::delivery`]` == `[`DeliveryMode::Relaxed`], quiescence
+/// promises may stand in for empty transports (see the [module
+/// docs](self)): outputs and metrics stay byte-identical, machines may run
+/// up to `event_window − 1` rounds apart, and the realized overlap is
+/// reported in [`RunOutcome::skew`] (tracked only on this path — the
+/// degenerate one-worker path cannot overlap anything and reports an empty
+/// [`SkewMetrics`]).
+///
 /// # Panics
 /// If `protocols.len() != cfg.k`, bandwidth is `Enforce { 0 }`, or
 /// `k > 65535` (the stall detector packs per-round quiet counts in 16 bits).
@@ -212,6 +255,8 @@ pub fn run_event<P: Protocol>(
         max_rounds: cfg.max_rounds,
         published: (0..k).map(|_| AtomicU64::new(0)).collect(),
         consumed: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        promised: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        relaxed: cfg.delivery == DeliveryMode::Relaxed,
         inbound: (0..k).map(|_| Mutex::new((0..window).map(|_| Vec::new()).collect())).collect(),
         stop: AtomicBool::new(false),
         abort: AtomicBool::new(false),
@@ -247,6 +292,10 @@ pub fn run_event<P: Protocol>(
                 max_backlog: 0,
                 tags: Vec::new(),
                 exited: false,
+                promise: 0,
+                max_skew: 0,
+                promised_rounds: 0,
+                promises: 0,
             })
         })
         .collect();
@@ -268,9 +317,16 @@ pub fn run_event<P: Protocol>(
     let fin = shared.final_round.load(Ordering::Acquire);
     let mut metrics = RunMetrics::new(k);
     metrics.rounds = fin;
+    let mut skew = if shared.relaxed { SkewMetrics::new(k) } else { SkewMetrics::default() };
     let mut outs = Vec::with_capacity(k);
     for (i, m) in machines.into_iter().enumerate() {
         let st = m.into_inner();
+        if shared.relaxed {
+            skew.max_skew_per_machine[i] = st.max_skew;
+            skew.max_skew = skew.max_skew.max(st.max_skew);
+            skew.promised_rounds += st.promised_rounds;
+            skew.promises_published += st.promises;
+        }
         metrics.messages += st.messages;
         metrics.bits += st.bits;
         metrics.sends_per_machine[i] = st.sends;
@@ -289,7 +345,7 @@ pub fn run_event<P: Protocol>(
             None => return Err(EngineError::WorkerPanic { machine: i }),
         }
     }
-    Ok(RunOutcome { outputs: outs, metrics, wall })
+    Ok(RunOutcome { outputs: outs, metrics, skew, wall })
 }
 
 /// Worker loop: sweep the machines (staggered start per worker so workers
@@ -372,13 +428,42 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
             return true;
         }
         // Inbound dependency: every peer has published its round r-1
-        // transport. Outbound space: slot r % window of every peer's
-        // staging ring is free (its round r-window contents were consumed).
-        let ready = (0..k).all(|peer| {
-            peer == id
-                || (sh.published[peer].load(Ordering::Acquire) >= r
-                    && sh.consumed[peer].load(Ordering::Acquire) + sh.window > r)
-        });
+        // transport — or, under relaxed delivery, has promised that its
+        // unexecuted transports through r-1 are empty. Outbound space:
+        // slot r % window of every peer's staging ring is free (its round
+        // r-window contents were consumed).
+        let ready = if sh.relaxed {
+            let mut min_pub = u64::MAX;
+            let mut waived = false;
+            let mut ok = true;
+            for peer in 0..k {
+                if peer == id {
+                    continue;
+                }
+                let published = sh.published[peer].load(Ordering::Acquire);
+                min_pub = min_pub.min(published);
+                let covered = published >= r || sh.promised[peer].load(Ordering::Acquire) >= r;
+                if !(covered && sh.consumed[peer].load(Ordering::Acquire) + sh.window > r) {
+                    ok = false;
+                    break;
+                }
+                waived |= published < r;
+            }
+            if ok {
+                // min_pub is complete here (no peer broke the loop), so
+                // this is exactly how far this round ran ahead of the
+                // slowest peer — the overlap exact delivery forbids.
+                st.max_skew = st.max_skew.max(r.saturating_sub(min_pub));
+                st.promised_rounds += u64::from(waived);
+            }
+            ok
+        } else {
+            (0..k).all(|peer| {
+                peer == id
+                    || (sh.published[peer].load(Ordering::Acquire) >= r
+                        && sh.consumed[peer].load(Ordering::Acquire) + sh.window > r)
+            })
+        };
         if !ready {
             return progressed;
         }
@@ -428,6 +513,27 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                     became_done = true;
                 }
             }
+            if sh.relaxed && st.promise > r && !st.outbox.is_empty() {
+                // The machine sent inside a window it promised to keep
+                // silent. Peers already executed rounds on the strength of
+                // that promise, so the send cannot be honored — drop it,
+                // record the violation, and wind the run down like a
+                // panic (cycling silently so nobody deadlocks).
+                let mut err = sh.error.lock();
+                if err.is_none() {
+                    *err = Some(EngineError::PromiseViolated {
+                        machine: id,
+                        round: r,
+                        promised_until: st.promise,
+                    });
+                }
+                drop(err);
+                st.outbox.clear();
+                if !st.done {
+                    st.poisoned = true;
+                    became_done = true;
+                }
+            }
             for env in st.outbox.drain(..) {
                 let bits = env.msg.size_bits().max(1);
                 st.messages += 1;
@@ -448,15 +554,34 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                 sh.final_round.fetch_max(r, Ordering::AcqRel);
                 let done_now = sh.done_count.fetch_add(1, Ordering::AcqRel) + 1;
                 if done_now == k {
-                    // The wall-clock-last finisher always holds the highest
-                    // done round: any machine that reached a higher round
-                    // needed this one's transports to get there, so this
-                    // one would already have passed that round. Like
-                    // run_sync's break, round `r` sees no transport.
-                    debug_assert_eq!(sh.final_round.load(Ordering::Acquire), r);
+                    // Under exact delivery the wall-clock-last finisher
+                    // always holds the highest done round: any machine that
+                    // reached a higher round needed this one's transports
+                    // to get there, so this one would already have passed
+                    // that round. Like run_sync's break, round `r` sees no
+                    // transport. Under relaxed delivery a peer may have
+                    // raced past this machine on its promise and finished
+                    // in a *later* round, so the finisher must drain the
+                    // remaining rounds for exact late-delivery accounting
+                    // just like everyone else (the loop is empty when
+                    // `r == fin`, i.e. always in exact mode).
+                    debug_assert!(
+                        sh.relaxed || sh.final_round.load(Ordering::Acquire) == r,
+                        "exact delivery: last finisher must hold the final round"
+                    );
                     st.round = r + 1;
                     sh.stop.store(true, Ordering::Release);
                     sh.cv.notify_all();
+                    let fin = sh.final_round.load(Ordering::Acquire);
+                    while st.round <= fin {
+                        let rr = st.round;
+                        consume_round(id, st, sh, rr);
+                        if !st.inbox.is_empty() {
+                            st.late.push((rr, st.inbox.len() as u64));
+                            st.inbox.clear();
+                        }
+                        st.round += 1;
+                    }
                     exit(st, sh);
                     return true;
                 }
@@ -488,6 +613,39 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
             pending_total += pending;
         }
         sh.published[id].store(r + 1, Ordering::Release);
+
+        // --- quiescence promises (relaxed delivery): with every outbound
+        // FIFO drained, this machine's future transports are empty for as
+        // long as it will not send — forever once done, or through the
+        // protocol's declared silent horizon. Publishing the horizon lets
+        // peers execute rounds up to it without waiting for the (empty)
+        // publishes. Monotone: horizons only ever grow. ---
+        if sh.relaxed {
+            let drained = pending_total == 0;
+            let horizon = if st.done || st.poisoned {
+                if drained {
+                    u64::MAX
+                } else {
+                    0
+                }
+            } else if drained {
+                match st.proto.quiet_until() {
+                    // A horizon at or below the next round promises
+                    // nothing the publish watermark doesn't already say.
+                    Some(q) if q > r + 1 => q,
+                    _ => 0,
+                }
+            } else {
+                0
+            };
+            if horizon > st.promise {
+                st.promise = horizon;
+                st.promises += 1;
+                sh.promised[id].fetch_max(horizon, Ordering::AcqRel);
+                sh.epoch.fetch_add(1, Ordering::AcqRel);
+                sh.wake();
+            }
+        }
 
         // --- stall accounting: run_sync's per-round conjunction, split per
         // machine and joined through the per-round quiet counter ---
@@ -789,6 +947,333 @@ mod tests {
         let mk = || (0..6).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
         let want = run_sync(&base, mk()).unwrap();
         for workers in [1, 2, 6, 16] {
+            for window in [2, 3, 8] {
+                let cfg = base.clone().with_event_workers(workers).with_event_window(window);
+                let got = run_event(&cfg, mk()).unwrap();
+                assert_eq!(got.outputs, want.outputs, "workers {workers}, window {window}");
+                assert_eq!(got.metrics, want.metrics, "workers {workers}, window {window}");
+            }
+        }
+    }
+
+    // ---- relaxed delivery: promises, skew, and the edge cases ----
+
+    fn relaxed(k: usize) -> NetConfig {
+        cfg(k).with_delivery(DeliveryMode::Relaxed)
+    }
+
+    /// Relaxed delivery with promise-less protocols degenerates gracefully:
+    /// done machines still promise once drained, and outputs/metrics stay
+    /// byte-identical to the lockstep engine.
+    #[test]
+    fn relaxed_matches_sync_for_promiseless_protocols() {
+        let cfg = relaxed(8).with_seed(5);
+        let mk = || (0..8).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&cfg, mk()).unwrap();
+        let got = run_event(&cfg, mk()).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(want.metrics, got.metrics);
+        assert!(got.skew.tracked(), "relaxed multi-worker runs must record skew");
+        assert_eq!(got.skew.max_skew_per_machine.len(), 8);
+        assert!(!want.skew.tracked(), "lockstep engines report no skew");
+    }
+
+    /// Exact-mode runs must not report skew — the readiness rule forbids
+    /// overlap, and the accounting must say so.
+    #[test]
+    fn exact_mode_reports_no_skew() {
+        let cfg = cfg(4).with_seed(2);
+        let out = run_event(&cfg, (0..4).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>())
+            .unwrap();
+        assert!(!out.skew.tracked());
+        assert_eq!(out.skew, SkewMetrics::default());
+    }
+
+    /// Machine 0 feeds machine 1 one word per round; machine 1 never sends
+    /// (a declared silent horizon of forever) and is slow. Under relaxed
+    /// delivery machine 0 must pipeline multiple rounds past it — bounded
+    /// by the staging window — while the outcome stays byte-identical.
+    struct Pump {
+        rounds: u64,
+    }
+    impl Protocol for Pump {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() < self.rounds {
+                ctx.send(1, ctx.round());
+                return Step::Continue;
+            }
+            Step::Done(ctx.round())
+        }
+    }
+    struct QuietReceiver {
+        expect: u64,
+        got: u64,
+        sleep: Duration,
+    }
+    impl Protocol for QuietReceiver {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            Some(u64::MAX) // receives and accumulates, never sends
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if !self.sleep.is_zero() {
+                std::thread::sleep(self.sleep);
+            }
+            self.got += ctx.inbox().len() as u64;
+            if self.got == self.expect {
+                Step::Done(self.got)
+            } else {
+                Step::Continue
+            }
+        }
+    }
+
+    /// Two-variant protocol so one run can mix a pump and a quiet receiver.
+    enum PumpCluster {
+        Pump(Pump),
+        Quiet(QuietReceiver),
+    }
+    impl Protocol for PumpCluster {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            match self {
+                PumpCluster::Pump(_) => None,
+                PumpCluster::Quiet(q) => q.quiet_until(),
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match self {
+                PumpCluster::Pump(p) => p.on_round(ctx),
+                PumpCluster::Quiet(q) => q.on_round(ctx),
+            }
+        }
+    }
+
+    fn pump_protocols(rounds: u64, sleep: Duration) -> Vec<PumpCluster> {
+        vec![
+            PumpCluster::Pump(Pump { rounds }),
+            PumpCluster::Quiet(QuietReceiver { expect: rounds, got: 0, sleep }),
+        ]
+    }
+
+    /// Window-saturation fairness: the pump runs ahead of the sleeping
+    /// quiet receiver, but never farther than the staging window allows —
+    /// and the skew counters prove multi-round pipelining actually
+    /// happened, which exact delivery cannot express.
+    #[test]
+    fn relaxed_pipelines_past_a_quiet_straggler_bounded_by_window() {
+        let window = 4u64;
+        let cfg = NetConfig::new(2)
+            .with_seed(3)
+            .with_event_workers(2)
+            .with_event_window(window)
+            .with_delivery(DeliveryMode::Relaxed);
+        let rounds = 24;
+        let want = run_sync(&cfg, pump_protocols(rounds, Duration::ZERO)).unwrap();
+        let got = run_event(&cfg, pump_protocols(rounds, Duration::from_micros(500))).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(want.metrics, got.metrics);
+        assert!(
+            got.skew.max_skew <= window,
+            "skew {} must stay within the window {window}",
+            got.skew.max_skew
+        );
+        assert!(
+            got.skew.max_skew > 1,
+            "a 500µs/round straggler must force multi-round pipelining, got skew {}",
+            got.skew.max_skew
+        );
+        assert!(got.skew.promised_rounds > 0, "the pump must have run on the promise");
+        assert!(got.skew.promises_published >= 1);
+    }
+
+    /// A promise can never be revoked: sending inside the promised window
+    /// aborts the run with a clean, attributed error instead of delivering
+    /// a message that peers' executed rounds already assumed away.
+    struct PromiseBreaker {
+        breaker: bool,
+    }
+    impl Protocol for PromiseBreaker {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            self.breaker.then_some(10)
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if self.breaker {
+                if ctx.round() == 3 {
+                    ctx.send(1, 7); // breaks the round-10 promise
+                }
+                return Step::Continue;
+            }
+            // The honest machine keeps the run alive and finishes on its
+            // own, so the only error the run can end with is the violation.
+            if ctx.round() < 3 {
+                ctx.send(0, ctx.round());
+                return Step::Continue;
+            }
+            if ctx.round() == 4 {
+                return Step::Done(0);
+            }
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn promise_then_revoke_fails_cleanly() {
+        // Machine 0's round-10 horizon is published after its silent round
+        // 0 — and broken by the round-3 send: the run must abort with the
+        // violation attributed to the breaker, not deliver the message.
+        let cfg = relaxed(2);
+        let err = run_event(
+            &cfg,
+            vec![PromiseBreaker { breaker: true }, PromiseBreaker { breaker: false }],
+        )
+        .unwrap_err();
+        assert_eq!(err, EngineError::PromiseViolated { machine: 0, round: 3, promised_until: 10 });
+    }
+
+    /// A promise reaching past `max_rounds` cannot smuggle a run over the
+    /// limit: the round guard trips exactly as the lockstep engine's does.
+    struct EndlessSender;
+    impl Protocol for EndlessSender {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.id() == 1 {
+                ctx.send(0, ctx.round());
+            }
+            Step::Continue
+        }
+    }
+    struct QuietForever;
+    impl Protocol for QuietForever {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            Some(u64::MAX)
+        }
+        fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            Step::Continue
+        }
+    }
+
+    /// Heterogeneous pair for the max-rounds boundary case.
+    enum Boundary {
+        Quiet(QuietForever),
+        Sender(EndlessSender),
+    }
+    impl Protocol for Boundary {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            match self {
+                Boundary::Quiet(q) => q.quiet_until(),
+                Boundary::Sender(_) => None,
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            match self {
+                Boundary::Quiet(q) => q.on_round(ctx),
+                Boundary::Sender(s) => s.on_round(ctx),
+            }
+        }
+    }
+
+    #[test]
+    fn promise_at_max_rounds_boundary_still_trips_the_limit() {
+        let mk = || vec![Boundary::Quiet(QuietForever), Boundary::Sender(EndlessSender)];
+        let cfg = relaxed(2).with_max_rounds(5);
+        let want = run_sync(&cfg, mk()).unwrap_err();
+        assert_eq!(want, EngineError::MaxRounds { limit: 5 });
+        let got = run_event(&cfg, mk()).unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    /// An all-quiet, never-done cluster is a stall in relaxed mode too —
+    /// promises let machines spin a few rounds ahead, but the per-round
+    /// quiet conjunction still detects round 0 exactly like `run_sync`.
+    #[test]
+    fn all_promised_quiet_cluster_stalls_like_sync() {
+        let cfg = relaxed(4);
+        let err = run_event(&cfg, vec![QuietForever, QuietForever, QuietForever, QuietForever])
+            .unwrap_err();
+        assert_eq!(err, EngineError::Stalled { round: 0 });
+    }
+
+    /// A quiet machine woken by a message mid-promise: it may absorb the
+    /// wakeup (state change, no send) and answer once its horizon passes —
+    /// outputs and rounds match the lockstep engine exactly.
+    struct LateWakeup {
+        horizon: u64,
+        pinged: bool,
+    }
+    impl Protocol for LateWakeup {
+        type Msg = u64;
+        type Output = u64;
+        fn quiet_until(&self) -> Option<u64> {
+            (self.horizon > 0).then_some(self.horizon)
+        }
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.id() == 0 {
+                if ctx.first_from(1).is_some() {
+                    return Step::Done(ctx.round());
+                }
+                // Ping every round: a machine idling on a round *number*
+                // with nothing in flight is a stall by the model's rules,
+                // so the waiter must keep the network alive itself.
+                ctx.send(1, 1);
+                return Step::Continue;
+            }
+            // Machine 1: promised silence until `horizon`; pings land from
+            // round 1 on, the pong may only go out at rounds >= horizon.
+            self.pinged |= ctx.first_from(0).is_some();
+            if self.pinged && ctx.round() >= self.horizon {
+                ctx.send(0, 2);
+                return Step::Done(ctx.round());
+            }
+            Step::Continue
+        }
+    }
+
+    #[test]
+    fn quiet_machine_handles_late_wakeup_and_answers_after_horizon() {
+        let mk = || {
+            vec![LateWakeup { horizon: 0, pinged: false }, LateWakeup { horizon: 6, pinged: false }]
+        };
+        let cfg = relaxed(2);
+        let want = run_sync(&cfg, mk()).unwrap();
+        assert_eq!(want.outputs, vec![7, 6], "pong sent at the horizon, received next round");
+        let got = run_event(&cfg, mk()).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(want.metrics, got.metrics);
+    }
+
+    /// Late deliveries to finished machines are counted identically under
+    /// relaxed delivery (the done machine's drained-backlog promise races
+    /// ahead, but its late accounting is filtered to the lockstep rounds).
+    #[test]
+    fn relaxed_delivered_after_done_matches_sync() {
+        let cfg = relaxed(3).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let mk = || (0..3).map(|_| EarlyQuit { n: 16, received: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&cfg, mk()).unwrap();
+        assert!(want.metrics.delivered_after_done > 0);
+        let got = run_event(&cfg, mk()).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(want.metrics, got.metrics);
+    }
+
+    /// Worker count and window stay pure wall-clock knobs in relaxed mode.
+    #[test]
+    fn relaxed_workers_and_window_do_not_change_outcomes() {
+        let base = NetConfig::new(6).with_seed(3).with_delivery(DeliveryMode::Relaxed);
+        let mk = || (0..6).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&base, mk()).unwrap();
+        for workers in [2, 6, 16] {
             for window in [2, 3, 8] {
                 let cfg = base.clone().with_event_workers(workers).with_event_window(window);
                 let got = run_event(&cfg, mk()).unwrap();

@@ -22,15 +22,21 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::NetConfig;
+use crate::config::{DeliveryMode, NetConfig};
 use crate::error::EngineError;
-use crate::metrics::RunMetrics;
+use crate::metrics::{RunMetrics, SkewMetrics};
 use crate::protocol::Protocol;
 
 /// Environment variable that, when set, overrides every [`Engine::run`]
 /// call's engine choice — `sync`, `threaded`, `event`, or `auto`. Used by CI
 /// to force the whole test suite through one engine.
 pub const ENGINE_ENV: &str = "KNN_ENGINE";
+
+/// Environment variable that, when set, overrides every [`Engine::run`]
+/// call's delivery mode — `exact` or `relaxed`. Used by CI to force the
+/// whole test suite through relaxed delivery (answers and metrics are
+/// identical by contract; only wall-clock overlap changes).
+pub const DELIVERY_ENV: &str = "KNN_DELIVERY";
 
 /// Below this much potential per-round work (`k × per-link budget bits`),
 /// [`Engine::Auto`] keeps the sequential engine: rounds are too cheap for
@@ -42,8 +48,13 @@ const AUTO_MIN_ROUND_BITS: u64 = 2048;
 pub struct RunOutcome<T> {
     /// Per-machine outputs, indexed by machine id.
     pub outputs: Vec<T>,
-    /// Exact communication accounting.
+    /// Exact communication accounting. Identical across engines and
+    /// delivery modes for deterministic protocols.
     pub metrics: RunMetrics,
+    /// Pipelining evidence of a relaxed event run (max machine skew,
+    /// promise counters); empty — [`SkewMetrics::tracked`] is false — for
+    /// the lockstep engines and exact event runs.
+    pub skew: SkewMetrics,
     /// Wall-clock time of the run. Physically meaningful only for the
     /// threaded and event engines; for the sync engine it is simulation CPU
     /// time.
@@ -119,18 +130,46 @@ impl Engine {
     ///
     /// The [`ENGINE_ENV`] environment variable, when set, overrides `self`;
     /// [`Engine::Auto`] (from either source) is resolved per run via
-    /// [`Engine::resolve`].
+    /// [`Engine::resolve`]. The delivery mode is
+    /// [`NetConfig::delivery`] unless [`DELIVERY_ENV`] overrides it, with
+    /// one guard: an **Auto** engine downgrades relaxed delivery to exact
+    /// for protocols that do not opt in ([`Protocol::QUIET_AWARE`]) —
+    /// without declared quiet phases, relaxed mode is bookkeeping with no
+    /// pipelining to buy. Explicitly chosen engines honor the requested
+    /// mode as-is.
     pub fn run<P: Protocol>(
         self,
         cfg: &NetConfig,
         protocols: Vec<P>,
     ) -> Result<RunOutcome<P::Output>, EngineError> {
-        match env_engine().unwrap_or(self).resolve(cfg) {
+        let engine = env_engine().unwrap_or(self);
+        let delivery =
+            effective_delivery(engine, env_delivery().unwrap_or(cfg.delivery), P::QUIET_AWARE);
+        let relaxed_cfg;
+        let cfg = if delivery == cfg.delivery {
+            cfg
+        } else {
+            relaxed_cfg = cfg.clone().with_delivery(delivery);
+            &relaxed_cfg
+        };
+        match engine.resolve(cfg) {
             Engine::Sync => run_sync(cfg, protocols),
             Engine::Threaded => run_threaded(cfg, protocols),
             Engine::Event => run_event(cfg, protocols),
             Engine::Auto => unreachable!("resolve() always returns a concrete engine"),
         }
+    }
+}
+
+/// The delivery mode a run actually uses: `requested`, except that an
+/// [`Engine::Auto`] choice keeps exact delivery for protocols that never
+/// declare quiet phases (`quiet_aware == false`). Pure so the policy is
+/// testable without touching process environment.
+fn effective_delivery(engine: Engine, requested: DeliveryMode, quiet_aware: bool) -> DeliveryMode {
+    if engine == Engine::Auto && !quiet_aware {
+        DeliveryMode::Exact
+    } else {
+        requested
     }
 }
 
@@ -143,23 +182,37 @@ impl std::str::FromStr for Engine {
             "threaded" => Ok(Engine::Threaded),
             "event" => Ok(Engine::Event),
             "auto" => Ok(Engine::Auto),
+            "" => Err("empty engine name: expected sync|threaded|event|auto".to_string()),
             other => Err(format!("unknown engine {other:?}: expected sync|threaded|event|auto")),
         }
     }
 }
 
-/// The [`ENGINE_ENV`] override, if set.
+/// Shared normalization for the [`ENGINE_ENV`] / [`DELIVERY_ENV`]
+/// overrides: an unset or whitespace-only variable means "no override", and
+/// anything else must parse — a forced-engine CI run with a typo must fail
+/// loudly (with the variants listed), not silently fall back. Pure in the
+/// raw value so the policy is testable without mutating process
+/// environment; both FromStr impls trim and lowercase, so `" Event "` and
+/// `"RELAXED"` are accepted.
 ///
 /// # Panics
-/// If the variable holds an unrecognized engine name — a forced-engine CI
-/// run with a typo must fail loudly, not silently fall back.
-fn env_engine() -> Option<Engine> {
-    let v = std::env::var(ENGINE_ENV).ok()?;
-    let v = v.trim();
-    if v.is_empty() {
+/// If `raw` is non-blank and unparseable.
+fn parse_env_override<T: std::str::FromStr<Err = String>>(var: &str, raw: &str) -> Option<T> {
+    if raw.trim().is_empty() {
         return None;
     }
-    Some(v.parse().unwrap_or_else(|e| panic!("{ENGINE_ENV}: {e}")))
+    Some(raw.parse().unwrap_or_else(|e| panic!("{var}: {e}")))
+}
+
+/// The [`ENGINE_ENV`] override, if set (see [`parse_env_override`]).
+fn env_engine() -> Option<Engine> {
+    parse_env_override(ENGINE_ENV, &std::env::var(ENGINE_ENV).ok()?)
+}
+
+/// The [`DELIVERY_ENV`] override, if set (see [`parse_env_override`]).
+fn env_delivery() -> Option<DeliveryMode> {
+    parse_env_override(DELIVERY_ENV, &std::env::var(DELIVERY_ENV).ok()?)
 }
 
 #[cfg(test)]
@@ -173,7 +226,61 @@ mod tests {
             assert_eq!(e.name().parse::<Engine>().unwrap(), e);
         }
         assert_eq!(" Event ".parse::<Engine>().unwrap(), Engine::Event);
-        assert!("barrier".parse::<Engine>().is_err());
+        assert_eq!("SYNC\n".parse::<Engine>().unwrap(), Engine::Sync);
+        let err = "barrier".parse::<Engine>().unwrap_err();
+        assert!(err.contains("sync|threaded|event|auto"), "error must list the variants: {err}");
+        let err = "  ".parse::<Engine>().unwrap_err();
+        assert!(err.contains("sync|threaded|event|auto"), "empty input lists variants too: {err}");
+    }
+
+    #[test]
+    fn env_override_parsing_is_normalized() {
+        // Unset-like values mean "no override"...
+        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, ""), None);
+        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, "  \t"), None);
+        assert_eq!(parse_env_override::<DeliveryMode>(DELIVERY_ENV, ""), None);
+        // ...valid values parse case/whitespace-insensitively...
+        assert_eq!(parse_env_override(ENGINE_ENV, " Event "), Some(Engine::Event));
+        assert_eq!(parse_env_override(DELIVERY_ENV, "RELAXED"), Some(DeliveryMode::Relaxed));
+        assert_eq!(parse_env_override(DELIVERY_ENV, "exact\n"), Some(DeliveryMode::Exact));
+    }
+
+    #[test]
+    #[should_panic(expected = "KNN_ENGINE")]
+    fn invalid_engine_env_fails_loudly() {
+        let _ = parse_env_override::<Engine>(ENGINE_ENV, "barrier");
+    }
+
+    #[test]
+    #[should_panic(expected = "exact|relaxed")]
+    fn invalid_delivery_env_fails_loudly() {
+        let _ = parse_env_override::<DeliveryMode>(DELIVERY_ENV, "lossy");
+    }
+
+    #[test]
+    fn auto_downgrades_relaxed_without_protocol_opt_in() {
+        // Auto + a protocol that never declares quiet phases: exact.
+        assert_eq!(
+            effective_delivery(Engine::Auto, DeliveryMode::Relaxed, false),
+            DeliveryMode::Exact
+        );
+        // Auto + an opted-in protocol keeps the requested mode.
+        assert_eq!(
+            effective_delivery(Engine::Auto, DeliveryMode::Relaxed, true),
+            DeliveryMode::Relaxed
+        );
+        // Explicit engines honor the request regardless of opt-in.
+        for engine in [Engine::Sync, Engine::Threaded, Engine::Event] {
+            assert_eq!(
+                effective_delivery(engine, DeliveryMode::Relaxed, false),
+                DeliveryMode::Relaxed
+            );
+        }
+        // Exact stays exact everywhere.
+        assert_eq!(
+            effective_delivery(Engine::Auto, DeliveryMode::Exact, true),
+            DeliveryMode::Exact
+        );
     }
 
     #[test]

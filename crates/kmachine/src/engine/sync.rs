@@ -128,6 +128,7 @@ pub fn run_sync<P: Protocol>(
     Ok(RunOutcome {
         outputs: outputs.into_iter().map(|o| o.expect("all machines done")).collect(),
         metrics,
+        skew: crate::metrics::SkewMetrics::default(),
         wall: start.elapsed(),
     })
 }

@@ -142,7 +142,7 @@ pub fn run_threaded<P: Protocol>(
             None => return Err(EngineError::WorkerPanic { machine: i }),
         }
     }
-    Ok(RunOutcome { outputs: outs, metrics, wall })
+    Ok(RunOutcome { outputs: outs, metrics, skew: crate::metrics::SkewMetrics::default(), wall })
 }
 
 #[allow(clippy::too_many_arguments)]

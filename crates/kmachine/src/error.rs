@@ -22,6 +22,19 @@ pub enum EngineError {
         /// Machine whose thread panicked.
         machine: usize,
     },
+    /// Under relaxed delivery, a machine sent a message inside a round it
+    /// had promised to stay silent for (see
+    /// [`crate::Protocol::quiet_until`]). Promises are load-bearing —
+    /// peers already executed rounds on the strength of this one — so the
+    /// run aborts instead of delivering the contradicting message.
+    PromiseViolated {
+        /// Machine that broke its own promise.
+        machine: usize,
+        /// Round in which the forbidden send happened.
+        round: u64,
+        /// The silent horizon the machine had promised.
+        promised_until: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +51,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::WorkerPanic { machine } => {
                 write!(f, "worker thread for machine {machine} panicked")
+            }
+            EngineError::PromiseViolated { machine, round, promised_until } => {
+                write!(
+                    f,
+                    "machine {machine} sent in round {round} after promising silence until \
+                     round {promised_until}"
+                )
             }
         }
     }
@@ -57,5 +77,8 @@ mod tests {
         assert!(s.contains("10"));
         let s = EngineError::WorkerPanic { machine: 3 }.to_string();
         assert!(s.contains("3"));
+        let s =
+            EngineError::PromiseViolated { machine: 2, round: 7, promised_until: 12 }.to_string();
+        assert!(s.contains("machine 2") && s.contains("round 7") && s.contains("12"));
     }
 }

@@ -21,7 +21,12 @@
 //!     scheduling over round-slotted links on a worker pool, so fast
 //!     machines run rounds ahead of slow ones ([`Engine::Auto`] picks an
 //!     engine per run, and the `KNN_ENGINE` environment variable forces
-//!     one);
+//!     one). With [`DeliveryMode::Relaxed`] (`KNN_DELIVERY=relaxed`),
+//!     quiescence promises — "nothing from me before round X", published
+//!     by drained done machines or via [`Protocol::quiet_until`] — stand
+//!     in for empty transports, unlocking multi-round pipelining with
+//!     byte-identical outputs and metrics (skew is reported in
+//!     [`RunOutcome::skew`]);
 //! * bandwidth-limited links ([`BandwidthMode::Enforce`]): each ordered link
 //!   drains at most `B` bits per round, store-and-forward, so protocols that
 //!   ship a lot of data genuinely pay for it in rounds;
@@ -91,13 +96,13 @@ pub mod payload;
 pub mod protocol;
 pub mod rng;
 
-pub use config::{BandwidthMode, NetConfig};
+pub use config::{BandwidthMode, DeliveryMode, NetConfig};
 pub use ctx::Ctx;
-pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, ENGINE_ENV};
+pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, DELIVERY_ENV, ENGINE_ENV};
 pub use error::EngineError;
 pub use link::LinkFifo;
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
-pub use metrics::{RunMetrics, TagMetrics};
+pub use metrics::{RunMetrics, SkewMetrics, TagMetrics};
 pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};
 pub use payload::Payload;
 pub use protocol::{Protocol, Step};

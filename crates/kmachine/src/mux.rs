@@ -126,6 +126,25 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
     type Msg = Tagged<P::Msg>;
     type Output = MuxOutput<P::Output>;
 
+    /// A mux machine pipelines its instances' quiet phases too: it opts
+    /// into relaxed delivery exactly when its inner protocol does.
+    const QUIET_AWARE: bool = P::QUIET_AWARE;
+
+    /// A mux machine is silent only when **all** of its instances are: the
+    /// aggregated horizon is the minimum over the live instances' declared
+    /// horizons (one undeclared instance vetoes the promise), and finished
+    /// instances are silent forever.
+    fn quiet_until(&self) -> Option<u64> {
+        let mut horizon = u64::MAX;
+        for slot in self.slots.iter().flatten() {
+            match slot.proto.quiet_until() {
+                None => return None,
+                Some(q) => horizon = horizon.min(q),
+            }
+        }
+        Some(horizon)
+    }
+
     fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged<P::Msg>>) -> Step<MuxOutput<P::Output>> {
         let m = self.slots.len();
         if ctx.round() == 0 {
@@ -343,6 +362,39 @@ mod tests {
         let d = run_event(&cfg, mk()).unwrap();
         assert_eq!(a.outputs, d.outputs);
         assert_eq!(a.metrics, d.metrics);
+        // Relaxed delivery additionally lets *machines* pipeline past
+        // drained done peers — still the same bytes.
+        let relaxed = cfg.with_delivery(crate::config::DeliveryMode::Relaxed).with_event_workers(2);
+        let e = run_event(&relaxed, mk()).unwrap();
+        assert_eq!(a.outputs, e.outputs);
+        assert_eq!(a.metrics, e.metrics);
+        assert!(e.skew.tracked());
+    }
+
+    /// The per-tag quiet horizon is the minimum over live instances, and
+    /// any live undeclared instance vetoes the whole machine's promise.
+    #[test]
+    fn mux_quiet_horizon_aggregates_across_instances() {
+        struct FixedQuiet(Option<u64>);
+        impl Protocol for FixedQuiet {
+            type Msg = u64;
+            type Output = ();
+            fn quiet_until(&self) -> Option<u64> {
+                self.0
+            }
+            fn on_round(&mut self, _ctx: &mut Ctx<'_, u64>) -> Step<()> {
+                Step::Done(())
+            }
+        }
+        let all_quiet = MuxProtocol::new(vec![FixedQuiet(Some(9)), FixedQuiet(Some(4))]);
+        assert_eq!(all_quiet.quiet_until(), Some(4));
+        let vetoed = MuxProtocol::new(vec![FixedQuiet(Some(9)), FixedQuiet(None)]);
+        assert_eq!(vetoed.quiet_until(), None);
+        let empty: MuxProtocol<FixedQuiet> = MuxProtocol::new(Vec::new());
+        assert_eq!(empty.quiet_until(), Some(u64::MAX), "nothing left to send, ever");
+        // QUIET_AWARE is inherited from the inner protocol (checked at
+        // compile time — it is an associated const equal to the inner's).
+        const _: () = assert!(!MuxProtocol::<FixedQuiet>::QUIET_AWARE);
     }
 
     #[test]
