@@ -590,7 +590,7 @@ fn main() {
 
     // -- Optional: the paper's full-scale path, per engine -------------------
     let paper_full = paper_full.then(|| {
-        let pk = 4;
+        let pk = 16;
         let ell = 64;
         let w = ScalarWorkload::paper_full();
         let start = Instant::now();

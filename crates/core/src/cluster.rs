@@ -4,7 +4,10 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use kmachine::{BandwidthMode, DeliveryMode, Engine, MachineId, RunMetrics, SkewMetrics};
+use kmachine::{
+    BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan, MachineId, RunMetrics,
+    SkewMetrics,
+};
 use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
 use knn_workloads::PartitionStrategy;
 
@@ -46,6 +49,16 @@ pub struct KnnAnswer {
     pub election_metrics: Option<RunMetrics>,
     /// Algorithm 2 diagnostics (sampling / pruning / iterations).
     pub stats: Option<KnnStats>,
+    /// True when the answer may be missing candidates: one or more shards
+    /// crashed and the query was answered by the survivors.
+    pub degraded: bool,
+    /// Shards whose candidates actually reached the selection
+    /// (`== k` on a healthy run). In a batch's per-query answers this
+    /// mirrors the batch-level value.
+    pub shards_used: usize,
+    /// Realized faults of the answering run (batch runs report theirs once,
+    /// on [`BatchAnswer::faults`]; per-query copies stay empty).
+    pub faults: FaultMetrics,
 }
 
 /// Result of a batched query run: per-query answers plus the aggregate cost
@@ -76,6 +89,13 @@ pub struct BatchAnswer {
     /// Cost of the batch's **single** leader election (`None` under
     /// [`ElectionKind::Fixed`]).
     pub election_metrics: Option<RunMetrics>,
+    /// True when the batch's answers may be missing candidates (one or
+    /// more shards crashed; every query was answered by the survivors).
+    pub degraded: bool,
+    /// Shards whose candidates actually reached the selection.
+    pub shards_used: usize,
+    /// Realized faults of the batch's single engine run.
+    pub faults: FaultMetrics,
 }
 
 /// Builder for [`KnnCluster`].
@@ -171,6 +191,17 @@ impl ClusterBuilder {
     /// Synthetic per-round latency for the threaded engine.
     pub fn round_latency(mut self, latency: Duration) -> Self {
         self.opts.round_latency = latency;
+        self
+    }
+
+    /// Deterministic fault injection for every query run: stragglers,
+    /// fail-stop crashes, lossy links (see [`FaultPlan`]). Elections stay
+    /// fault-free, crashes are recovered by retrying over the surviving
+    /// shards (answers come back flagged [`KnnAnswer::degraded`]), and a
+    /// link exhausting its retry budget surfaces as the typed error
+    /// [`kmachine::EngineError::LinkDown`].
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.opts.faults = faults;
         self
     }
 
@@ -302,6 +333,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
         }
         let out = run_approx_query(&self.shards, q, ell, &self.opts)?;
         let neighbors = self.resolve(&out.local_keys);
+        let shards_used = self.k - out.faults.crashed.len();
         Ok(KnnAnswer {
             neighbors,
             metrics: out.metrics,
@@ -309,6 +341,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             leader: out.leader,
             election_metrics: out.election_metrics,
             stats: None,
+            degraded: shards_used < self.k,
+            shards_used,
+            faults: out.faults,
         })
     }
 
@@ -331,6 +366,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             leader: out.leader,
             election_metrics: out.election_metrics,
             stats: out.stats,
+            degraded: out.degraded,
+            shards_used: out.shards_used,
+            faults: out.faults,
         })
     }
 
@@ -397,6 +435,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
                     leader: out.leader,
                     election_metrics: None,
                     stats: q.stats,
+                    degraded: out.degraded,
+                    shards_used: out.shards_used,
+                    faults: FaultMetrics::default(),
                 }
             })
             .collect();
@@ -407,6 +448,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             wall: out.wall,
             leader: out.leader,
             election_metrics: out.election_metrics,
+            degraded: out.degraded,
+            shards_used: out.shards_used,
+            faults: out.faults,
         }
     }
 
@@ -524,6 +568,29 @@ mod tests {
         for (a, b) in batch.answers.iter().zip(&want.answers) {
             assert_eq!(a.neighbors, b.neighbors);
         }
+    }
+
+    #[test]
+    fn faulty_cluster_degrades_gracefully() {
+        let mut cluster: KnnCluster<ScalarPoint> = KnnCluster::builder()
+            .machines(4)
+            .seed(3)
+            .faults(FaultPlan::default().with_crash(1, 0))
+            .build();
+        let mut ids = IdAssigner::new(0);
+        let data =
+            Dataset::from_points((0..120u64).map(|i| ScalarPoint(i * 10)).collect(), &mut ids);
+        cluster.load(data, PartitionStrategy::Shuffled);
+        let ans = cluster.query(&ScalarPoint(501), 5).unwrap();
+        assert!(ans.degraded);
+        assert_eq!(ans.shards_used, 3);
+        assert_eq!(ans.neighbors.len(), 5);
+        assert!(ans.neighbors.iter().all(|n| n.machine != 1), "dead shards contribute nothing");
+        // The healthy cluster is not degraded.
+        let healthy = loaded_cluster(4, 100).query(&ScalarPoint(501), 5).unwrap();
+        assert!(!healthy.degraded);
+        assert_eq!(healthy.shards_used, 4);
+        assert!(!healthy.faults.any());
     }
 
     #[test]

@@ -85,6 +85,12 @@ pub struct BinSearchProtocol<'a, K: NumericKey> {
     min_seen: Option<u128>,
     max_seen: Option<u128>,
     pending: usize,
+    /// Leader: workers that reported a nonzero key count — the only ones
+    /// probed during bisection (empty workers go silent after the census).
+    active: usize,
+    /// Worker: the census report went out (after which an empty worker is
+    /// provably silent forever).
+    reported: bool,
     /// Completed bisection iterations (leader; for the baselines table).
     pub iterations: u64,
 }
@@ -115,6 +121,8 @@ impl<'a, K: NumericKey> BinSearchProtocol<'a, K> {
             min_seen: None,
             max_seen: None,
             pending: 0,
+            active: 0,
+            reported: false,
             iterations: 0,
         }
     }
@@ -138,21 +146,37 @@ impl<'a, K: NumericKey> BinSearchProtocol<'a, K> {
         }
     }
 
-    /// Leader: one bisection step — either finish or probe the midpoint.
+    /// Leader: bisection steps — either finish or probe the midpoint. When
+    /// no worker holds keys (`active == 0`) the probes would go unanswered
+    /// (empty workers are silent), so the leader bisects locally to
+    /// completion instead — every key it is counting is its own.
     fn step(&mut self, ctx: &mut Ctx<'_, BsMsg>) -> Option<Option<u128>> {
-        if self.ell_cap == 0 {
-            return Some(None);
+        loop {
+            if self.ell_cap == 0 {
+                return Some(None);
+            }
+            if self.lo >= self.hi {
+                return Some(Some(self.lo));
+            }
+            self.iterations += 1;
+            let mid = self.lo + (self.hi - self.lo) / 2;
+            self.acc = self.count_leq(mid);
+            if self.active > 0 {
+                ctx.broadcast(BsMsg::Count { threshold: mid });
+                // Only workers with keys answer probes.
+                self.pending = self.active;
+                self.phase = BsPhase::AwaitSizes { mid };
+                return None;
+            }
+            if self.acc == self.ell_cap {
+                return Some(Some(mid));
+            }
+            if self.acc > self.ell_cap {
+                self.hi = mid;
+            } else {
+                self.lo = mid + 1;
+            }
         }
-        if self.lo >= self.hi {
-            return Some(Some(self.lo));
-        }
-        self.iterations += 1;
-        let mid = self.lo + (self.hi - self.lo) / 2;
-        ctx.broadcast(BsMsg::Count { threshold: mid });
-        self.acc = self.count_leq(mid);
-        self.pending = self.k - 1;
-        self.phase = BsPhase::AwaitSizes { mid };
-        None
     }
 
     fn finish(&mut self, threshold: Option<u128>, ctx: &mut Ctx<'_, BsMsg>) -> Step<Vec<K>> {
@@ -164,6 +188,29 @@ impl<'a, K: NumericKey> BinSearchProtocol<'a, K> {
 impl<'a, K: NumericKey> Protocol for BinSearchProtocol<'a, K> {
     type Msg = BsMsg;
     type Output = Vec<K>;
+
+    /// Empty workers have a provable silent phase (below), so relaxed
+    /// delivery has real pipelining to buy under [`kmachine::Engine::Auto`].
+    const QUIET_AWARE: bool = true;
+
+    /// A worker with no local keys answers the census once and then never
+    /// speaks again: it skips every [`BsMsg::Count`] probe (its count is
+    /// always 0, and the leader only waits for nonzero workers) and the
+    /// final [`BsMsg::Finished`] terminates it without a reply. Nonzero
+    /// workers and the leader stay unpromised — their sends depend on
+    /// what arrives.
+    fn quiet_until(&self) -> Option<u64> {
+        (self.id != self.leader && self.reported && self.ordinals.is_empty()).then_some(u64::MAX)
+    }
+
+    /// A machine that ran its census and holds no keys provably
+    /// contributes nothing, so a crash there salvages an (exact!) empty
+    /// output. Any other crash — keys on board, or dead before round 0
+    /// materialized the input — may lose answer members: unsalvageable,
+    /// and the runner retries over the survivors.
+    fn on_crash(&mut self) -> Option<Vec<K>> {
+        (self.input.is_none() && self.ordinals.is_empty()).then(Vec::new)
+    }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, BsMsg>) -> Step<Vec<K>> {
         debug_assert_eq!(ctx.id(), self.id, "protocol wired to the wrong machine");
@@ -202,9 +249,14 @@ impl<'a, K: NumericKey> Protocol for BinSearchProtocol<'a, K> {
                                 max: self.ordinals.last().copied(),
                             },
                         );
+                        self.reported = true;
                     }
                     BsMsg::Count { threshold } => {
-                        ctx.send(self.leader, BsMsg::Size(self.count_leq(threshold)));
+                        // Empty workers stay silent: their count is always
+                        // 0 and the leader does not wait for them.
+                        if !self.ordinals.is_empty() {
+                            ctx.send(self.leader, BsMsg::Size(self.count_leq(threshold)));
+                        }
                     }
                     BsMsg::Finished { threshold } => return Step::Done(self.output_for(threshold)),
                     other => panic!("worker received a leader-only message {other:?}"),
@@ -218,6 +270,9 @@ impl<'a, K: NumericKey> Protocol for BinSearchProtocol<'a, K> {
             match msg {
                 BsMsg::Report { count, min, max } => {
                     self.total += count;
+                    if count > 0 {
+                        self.active += 1;
+                    }
                     if let Some(m) = min {
                         if self.min_seen.is_none_or(|g| m < g) {
                             self.min_seen = Some(m);
@@ -316,6 +371,23 @@ mod tests {
         assert_eq!(run_bs(vec![vec![], vec![]], 5, 4).0, Vec::<u64>::new());
         assert_eq!(run_bs(vec![vec![5]], 1, 5).0, vec![5]);
         assert_eq!(run_bs(vec![vec![], vec![5], vec![]], 1, 6).0, vec![5]);
+    }
+
+    #[test]
+    fn bisection_with_empty_shards_stays_correct() {
+        // Empty workers answer the census once and then never speak; the
+        // leader probes only the nonzero ones. ell < total forces real
+        // bisection iterations through the silent-worker path.
+        let shards = vec![vec![100u64, 5, 61, 999, 77], vec![], vec![42, 7, 500, 8]];
+        let (got, _) = run_bs(shards.clone(), 4, 9);
+        assert_eq!(got, expected(&shards, 4));
+        // All keys on the leader: probes would go unanswered, so the
+        // leader bisects locally.
+        let shards = vec![vec![13u64, 2, 88, 41, 900, 7], vec![], vec![]];
+        let (got, m) = run_bs(shards.clone(), 3, 10);
+        assert_eq!(got, expected(&shards, 3));
+        // Census + final broadcast only — no probe traffic at all.
+        assert_eq!(m.messages, 2 + 2 + 2);
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub struct SimpleProtocol<'a, K: Key> {
     candidates: Vec<K>,
     // Leader scratch.
     gathered: Vec<K>,
-    finished_senders: usize,
+    /// Leader: which machines have delivered their final chunk (`true` for
+    /// the leader itself). Per-sender — not a count — so an observably
+    /// crashed sender can be written off without hanging the gather.
+    finished: Vec<bool>,
 }
 
 impl<'a, K: Key> SimpleProtocol<'a, K> {
@@ -77,7 +80,7 @@ impl<'a, K: Key> SimpleProtocol<'a, K> {
             input: Some(input),
             candidates: Vec::new(),
             gathered: Vec::new(),
-            finished_senders: 0,
+            finished: Vec::new(),
         }
     }
 
@@ -121,6 +124,14 @@ impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
         (self.id != self.leader && self.input.is_none()).then_some(u64::MAX)
     }
 
+    /// A crashed machine's candidates are simply missing from the gather:
+    /// the protocol still terminates (the leader writes off observably
+    /// crashed senders) and every survivor's output stays well-defined, so
+    /// the crash is salvageable with an empty contribution.
+    fn on_crash(&mut self) -> Option<Vec<K>> {
+        Some(Vec::new())
+    }
+
     fn on_round(&mut self, ctx: &mut Ctx<'_, SimpleMsg<K>>) -> Step<Vec<K>> {
         debug_assert_eq!(ctx.id(), self.id, "protocol wired to the wrong machine");
         if ctx.round() == 0 {
@@ -147,6 +158,8 @@ impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
                 return Step::Done(self.candidates.clone());
             }
             self.gathered = self.candidates.clone();
+            self.finished = vec![false; ctx.k()];
+            self.finished[self.id] = true;
             return Step::Continue;
         }
 
@@ -156,9 +169,18 @@ impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
                     panic!("leader received a non-batch message");
                 };
                 self.gathered.extend_from_slice(keys);
-                self.finished_senders += usize::from(*last);
+                if *last {
+                    self.finished[env.src] = true;
+                }
             }
-            if self.finished_senders == ctx.k() - 1 {
+            // A sender counts as finished once its final chunk arrived —
+            // or once it is observably crashed: a fail-stop machine will
+            // never complete its stream, so waiting would deadlock. Its
+            // in-flight chunks may still arrive after we finish; fail-stop
+            // recovery accepts that loss and the answer is flagged
+            // degraded by the runner.
+            let all_in = (0..ctx.k()).all(|s| self.finished[s] || ctx.crashed(s));
+            if all_in {
                 // All kℓ candidates are in: select the final ℓ.
                 self.gathered.sort_unstable();
                 let boundary = if self.ell == 0 || self.gathered.is_empty() {
@@ -184,7 +206,7 @@ impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
 mod tests {
     use super::*;
     use kmachine::engine::{run_sync, run_threaded};
-    use kmachine::{BandwidthMode, NetConfig};
+    use kmachine::{BandwidthMode, FaultPlan, NetConfig};
     use knn_workloads::partition::{PartitionStrategy, ALL_STRATEGIES};
     use proptest::prelude::*;
 
@@ -273,6 +295,27 @@ mod tests {
         let (_, m) = run_simple(shards, ell, 2, 1);
         // (k-1) machines send ell keys each + final boundary broadcast.
         assert_eq!(m.messages, (k as u64 - 1) * ell + (k as u64 - 1));
+    }
+
+    #[test]
+    fn leader_writes_off_a_crashed_worker() {
+        // Machine 1 crashes before it ever sends: the leader observes the
+        // horizon, selects over the surviving candidates, and the crashed
+        // machine salvages an empty output — no stall, no error.
+        let shards = vec![vec![10u64, 20, 30], vec![1, 2, 3], vec![100, 200, 300]];
+        let cfg = NetConfig::new(3).with_faults(FaultPlan::default().with_crash(1, 0));
+        let protos: Vec<SimpleProtocol<'_, u64>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| SimpleProtocol::from_keys(i, 0, 4, 2, local))
+            .collect();
+        let out = run_sync(&cfg, protos).expect("crash is salvaged in-run");
+        assert_eq!(out.faults.crashed, vec![1]);
+        assert!(out.outputs[1].is_empty());
+        let mut merged: Vec<u64> = out.outputs.into_iter().flatten().collect();
+        merged.sort_unstable();
+        // Machine 1's keys are lost; the best 4 of the survivors win.
+        assert_eq!(merged, vec![10, 20, 30, 100]);
     }
 
     #[test]

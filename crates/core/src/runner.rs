@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use kmachine::leader::{RandRankFlood, RandRankStar};
 use kmachine::{
-    BandwidthMode, DeliveryMode, Engine, MachineId, NetConfig, RunMetrics, SkewMetrics,
-    ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
+    BandwidthMode, DeliveryMode, Engine, EngineError, FaultMetrics, FaultPlan, MachineId,
+    NetConfig, RunMetrics, SkewMetrics, ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
 };
 use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
@@ -92,6 +92,13 @@ pub struct QueryOptions {
     pub round_latency: Duration,
     /// Stall safety limit.
     pub max_rounds: u64,
+    /// Deterministic fault injection applied to every query run (see
+    /// [`FaultPlan`]). Elections run fault-free — leader choice is part of
+    /// the control plane, and re-elections after a leader crash must not
+    /// themselves crash. When a machine crashes unsalvageably, the runner
+    /// retries the query over the surviving shards and flags the answer
+    /// [`QueryOutcome::degraded`].
+    pub faults: FaultPlan,
 }
 
 impl Default for QueryOptions {
@@ -108,18 +115,32 @@ impl Default for QueryOptions {
             election: ElectionKind::Fixed,
             round_latency: Duration::ZERO,
             max_rounds: 10_000_000,
+            faults: FaultPlan::default(),
         }
     }
 }
 
 impl QueryOptions {
-    pub(crate) fn net_config(&self, k: usize) -> NetConfig {
+    /// Fault-free network config: elections and other control-plane runs
+    /// use this so a [`FaultPlan`] never disturbs leader choice.
+    pub(crate) fn fault_free_config(&self, k: usize) -> NetConfig {
         NetConfig::new(k)
             .with_seed(self.seed)
             .with_bandwidth(self.bandwidth)
             .with_delivery(self.delivery)
             .with_round_latency(self.round_latency)
             .with_max_rounds(self.max_rounds)
+    }
+
+    pub(crate) fn net_config(&self, k: usize) -> NetConfig {
+        self.fault_free_config(k).with_faults(self.faults.clone())
+    }
+
+    /// Config for a (re)run over the surviving subset `alive` (original
+    /// machine ids, ascending): the fault plan is projected onto the
+    /// survivors, so the crash that triggered the retry is gone.
+    pub(crate) fn subset_config(&self, alive: &[MachineId]) -> NetConfig {
+        self.fault_free_config(alive.len()).with_faults(self.faults.project(alive))
     }
 
     /// Keys per batch message such that one batch fills one link-round.
@@ -164,6 +185,17 @@ pub struct QueryOutcome {
     pub election_metrics: Option<RunMetrics>,
     /// Algorithm 2 diagnostics (`None` for the baselines).
     pub stats: Option<KnnStats>,
+    /// True when the answer may be missing candidates: one or more shards
+    /// crashed (salvaged in-run or excluded by a retry) and the selection
+    /// ran over the survivors.
+    pub degraded: bool,
+    /// Shards whose candidates actually reached the selection
+    /// (`== shards.len()` on a healthy run).
+    pub shards_used: usize,
+    /// Realized faults of the (final) protocol run. Crash retries run over
+    /// progressively smaller clusters; this records the run that produced
+    /// the answer.
+    pub faults: FaultMetrics,
 }
 
 /// Elect a leader (when requested) and account its cost. The serving layer
@@ -173,7 +205,7 @@ pub(crate) fn elect(
     k: usize,
     opts: &QueryOptions,
 ) -> Result<(MachineId, Option<RunMetrics>), CoreError> {
-    let cfg = opts.net_config(k);
+    let cfg = opts.fault_free_config(k);
     match opts.election {
         ElectionKind::Fixed => Ok((0, None)),
         ElectionKind::Star => {
@@ -192,6 +224,14 @@ pub(crate) fn elect(
 /// Distance computation happens inside each machine's round 0, so under the
 /// threaded engine it runs genuinely in parallel — the effect the paper's
 /// Figure 2 attributes its measured speedup to.
+///
+/// Under a [`QueryOptions::faults`] plan the query **recovers from
+/// crashes**: when a run fails with [`EngineError::Crashed`], the dead
+/// machine is excluded, the leader is re-elected over the survivors if it
+/// was the casualty, and the query re-runs on the surviving shards (with
+/// the fault plan projected onto them). The answer is then flagged
+/// [`QueryOutcome::degraded`]. Non-crash faults (a lossy link exhausting
+/// its retry budget) are not retried — they surface as the typed error.
 pub fn run_query<P: Point>(
     shards: &[Dataset<P>],
     query: &P,
@@ -203,13 +243,69 @@ pub fn run_query<P: Point>(
     if k == 0 {
         return Err(CoreError::EmptyCluster);
     }
-    let (leader, election_metrics) = elect(k, opts)?;
-    let cfg = opts.net_config(k);
+    let (mut leader, election_metrics) = elect(k, opts)?;
+    let mut alive: Vec<MachineId> = (0..k).collect();
+    loop {
+        let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
+        match run_query_over(shards, query, ell, algorithm, opts, &alive, sub_leader) {
+            Ok((sub_keys, metrics, skew, wall, faults, stats)) => {
+                let shards_used = alive.len() - faults.crashed.len();
+                let mut local_keys = vec![Vec::new(); k];
+                for (i, keys) in sub_keys.into_iter().enumerate() {
+                    local_keys[alive[i]] = keys;
+                }
+                return Ok(QueryOutcome {
+                    local_keys,
+                    metrics,
+                    skew,
+                    wall,
+                    leader,
+                    election_metrics,
+                    stats,
+                    degraded: shards_used < k,
+                    shards_used,
+                    faults,
+                });
+            }
+            Err(CoreError::Engine(EngineError::Crashed { machine, .. })) if alive.len() > 1 => {
+                // `machine` indexes the failed run's subset.
+                let dead = alive.remove(machine);
+                if dead == leader {
+                    // The coordinator died: re-elect over the survivors
+                    // (fault-free, like every election) and report the new
+                    // leader under its original id.
+                    let (sub, _) = elect(alive.len(), opts)?;
+                    leader = alive[sub];
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Everything one subset run yields: per-survivor answer keys (subset
+/// order), costs, and diagnostics.
+type SubRun =
+    (Vec<Vec<DistKey>>, RunMetrics, SkewMetrics, Duration, FaultMetrics, Option<KnnStats>);
+
+/// One attempt of [`run_query`] over the surviving subset `alive`; machine
+/// `i` of the run works shard `alive[i]`, and `leader` is a subset index.
+fn run_query_over<P: Point>(
+    shards: &[Dataset<P>],
+    query: &P,
+    ell: usize,
+    algorithm: Algorithm,
+    opts: &QueryOptions,
+    alive: &[MachineId],
+    leader: MachineId,
+) -> Result<SubRun, CoreError> {
+    let k = alive.len();
+    let cfg = opts.subset_config(alive);
     let metric = opts.metric;
     let ell64 = ell as u64;
 
     let source = |i: usize| {
-        let records = &shards[i].records;
+        let records = &shards[alive[i]].records;
         Box::new(move || dist_keys(records, query, metric))
             as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>
     };
@@ -221,37 +317,28 @@ pub fn run_query<P: Point>(
                 .collect();
             let out = opts.engine.run(&cfg, protos)?;
             let stats = out.outputs[leader].stats;
-            Ok(QueryOutcome {
-                local_keys: out.outputs.into_iter().map(|o| o.keys).collect(),
-                metrics: out.metrics,
-                skew: out.skew,
-                wall: out.wall,
-                leader,
-                election_metrics,
+            Ok((
+                out.outputs.into_iter().map(|o| o.keys).collect(),
+                out.metrics,
+                out.skew,
+                out.wall,
+                out.faults,
                 stats,
-            })
+            ))
         }
         Algorithm::Simple => {
             let chunk = opts.simple_chunk();
             let protos: Vec<SimpleProtocol<'_, DistKey>> =
                 (0..k).map(|i| SimpleProtocol::new(i, leader, ell64, chunk, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok(QueryOutcome {
-                local_keys: out.outputs,
-                metrics: out.metrics,
-                skew: out.skew,
-                wall: out.wall,
-                leader,
-                election_metrics,
-                stats: None,
-            })
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
         }
         Algorithm::SaukasSong => {
             // Mirror the other baselines: operate on the local top-ℓ
             // candidates (a machine can contribute at most ℓ answers).
             let protos: Vec<SaukasSongProtocol<'_, DistKey>> = (0..k)
                 .map(|i| {
-                    let records = &shards[i].records;
+                    let records = &shards[alive[i]].records;
                     let input = Box::new(move || {
                         let mut keys = dist_keys(records, query, metric);
                         if keys.len() > ell {
@@ -265,29 +352,13 @@ pub fn run_query<P: Point>(
                 })
                 .collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok(QueryOutcome {
-                local_keys: out.outputs,
-                metrics: out.metrics,
-                skew: out.skew,
-                wall: out.wall,
-                leader,
-                election_metrics,
-                stats: None,
-            })
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
         }
         Algorithm::BinSearch => {
             let protos: Vec<BinSearchProtocol<'_, DistKey>> =
                 (0..k).map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok(QueryOutcome {
-                local_keys: out.outputs,
-                metrics: out.metrics,
-                skew: out.skew,
-                wall: out.wall,
-                leader,
-                election_metrics,
-                stats: None,
-            })
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
         }
     }
 }
@@ -312,6 +383,11 @@ pub struct ApproxOutcome {
     pub leader: MachineId,
     /// Election costs, if an election ran.
     pub election_metrics: Option<RunMetrics>,
+    /// Realized faults of the run. The approx path does **not** retry over
+    /// survivors — an unsalvageable crash surfaces as
+    /// [`EngineError::Crashed`]; use the exact path when you need crash
+    /// recovery.
+    pub faults: FaultMetrics,
 }
 
 /// Run one *approximate* ℓ-NN query: Algorithm 2's sampling + pruning
@@ -350,6 +426,7 @@ pub fn run_approx_query<P: Point>(
         wall: out.wall,
         leader,
         election_metrics,
+        faults: out.faults,
     })
 }
 
@@ -436,6 +513,79 @@ mod tests {
             assert_eq!(out.local_keys, reference.local_keys, "{engine:?}");
             assert_eq!(out.metrics, reference.metrics, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn healthy_run_is_not_degraded() {
+        let sh = shards(&(0..100u64).collect::<Vec<_>>(), 4);
+        let out =
+            run_query(&sh, &ScalarPoint(50), 5, Algorithm::Knn, &QueryOptions::default()).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.shards_used, 4);
+        assert!(!out.faults.any());
+    }
+
+    #[test]
+    fn leader_crash_recovers_with_reelection() {
+        let values: Vec<u64> = (0..300u64).map(|i| i.wrapping_mul(48271) % 40_000).collect();
+        let sh = shards(&values, 5);
+        let q = ScalarPoint(9_999);
+        let opts =
+            QueryOptions { faults: FaultPlan::default().with_crash(0, 0), ..Default::default() };
+        for algo in Algorithm::ALL {
+            let out = run_query(&sh, &q, 6, algo, &opts).unwrap();
+            assert!(out.degraded, "{algo:?}");
+            assert_eq!(out.shards_used, 4, "{algo:?}");
+            assert_ne!(out.leader, 0, "{algo:?}: a dead leader cannot coordinate");
+            assert!(out.local_keys[0].is_empty(), "{algo:?}: the dead shard contributes nothing");
+            // The degraded answer is exact over the surviving shards.
+            let survivors: Vec<_> =
+                sh.iter().enumerate().filter(|&(i, _)| i != 0).map(|(_, d)| d.clone()).collect();
+            let want = run_query(&survivors, &q, 6, algo, &QueryOptions::default()).unwrap();
+            let got: Vec<DistKey> =
+                merge_answers(&out.local_keys).into_iter().map(|(key, _)| key).collect();
+            let want: Vec<DistKey> =
+                merge_answers(&want.local_keys).into_iter().map(|(key, _)| key).collect();
+            assert_eq!(got, want, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn worker_crash_under_simple_salvages_in_run() {
+        // A crashed worker under the gather baseline does not force a
+        // retry: the leader observes the crash horizon and selects over
+        // the surviving candidates in the same run.
+        let values: Vec<u64> = (0..200).collect();
+        let sh = shards(&values, 5);
+        let q = ScalarPoint(77);
+        let opts =
+            QueryOptions { faults: FaultPlan::default().with_crash(2, 0), ..Default::default() };
+        let out = run_query(&sh, &q, 8, Algorithm::Simple, &opts).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.faults.crashed, vec![2], "salvaged in-run, not excluded by retry");
+        assert_eq!(out.shards_used, 4);
+        assert_eq!(out.leader, 0, "the leader survived; no re-election");
+        assert!(out.local_keys[2].is_empty());
+        let survivors: Vec<_> =
+            sh.iter().enumerate().filter(|&(i, _)| i != 2).map(|(_, d)| d.clone()).collect();
+        let want =
+            run_query(&survivors, &q, 8, Algorithm::Simple, &QueryOptions::default()).unwrap();
+        assert_eq!(
+            merge_answers(&out.local_keys).iter().map(|&(key, _)| key).collect::<Vec<_>>(),
+            merge_answers(&want.local_keys).iter().map(|&(key, _)| key).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn link_down_is_not_retried() {
+        let sh = shards(&(0..100u64).collect::<Vec<_>>(), 3);
+        let opts =
+            QueryOptions { faults: FaultPlan::default().with_loss(1000, 2), ..Default::default() };
+        let err = run_query(&sh, &ScalarPoint(1), 4, Algorithm::Simple, &opts).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Engine(EngineError::LinkDown { .. })),
+            "a dead link is a typed error, not a hang or a retry: {err:?}"
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@
 use std::time::Duration;
 
 use kmachine::mux::{MuxOutput, MuxProtocol};
-use kmachine::{MachineId, Protocol, RunMetrics, SkewMetrics, TagMetrics};
+use kmachine::{
+    EngineError, FaultMetrics, MachineId, Protocol, RunMetrics, SkewMetrics, TagMetrics,
+};
 use knn_points::{Dataset, DistKey, Metric};
 
 use crate::error::CoreError;
@@ -80,12 +82,35 @@ pub struct BatchOutcome {
     pub skew: SkewMetrics,
     /// Wall-clock time of the batch run.
     pub wall: Duration,
-    /// The session leader that coordinated every query.
+    /// The leader that coordinated every query of this batch. Normally the
+    /// session leader; differs when the session leader crashed during the
+    /// batch and the run re-elected over the survivors.
     pub leader: MachineId,
     /// Cost of the session's one-time election (`None` under
     /// [`crate::runner::ElectionKind::Fixed`]); identical for every batch
     /// of the session — it is *not* re-paid per batch.
     pub election_metrics: Option<RunMetrics>,
+    /// True when the batch's answers may be missing candidates: one or
+    /// more shards crashed (salvaged in-run or excluded by a retry) and
+    /// every query was answered by the survivors.
+    pub degraded: bool,
+    /// Shards whose candidates actually reached the selection
+    /// (`== k` on a healthy batch).
+    pub shards_used: usize,
+    /// Realized faults of the (final) batch run.
+    pub faults: FaultMetrics,
+}
+
+/// How one protocol instance is wired into a (possibly degraded) batch
+/// run: `id`, `k`, and `leader` are positions in the run's surviving
+/// subset; `shard` is the original shard the instance draws candidates
+/// from.
+#[derive(Clone, Copy)]
+struct Wiring {
+    id: usize,
+    shard: usize,
+    k: usize,
+    leader: MachineId,
 }
 
 /// Extractor for protocols whose per-machine output already *is* the answer
@@ -164,14 +189,13 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         ell: usize,
         algorithm: Algorithm,
     ) -> Result<BatchOutcome, CoreError> {
-        let k = self.shards.len();
         let ell64 = ell as u64;
         match algorithm {
             Algorithm::Knn => self.run_mux(
                 queries,
-                |i, q| {
-                    KnnProtocol::new(i, k, self.leader, ell64, self.opts.params, {
-                        self.source(i, q, ell)
+                |w: Wiring, q| {
+                    KnnProtocol::new(w.id, w.k, w.leader, ell64, self.opts.params, {
+                        self.source(w.shard, q, ell)
                     })
                 },
                 |outs, j, leader| {
@@ -185,20 +209,32 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 let chunk = self.opts.mux_chunk();
                 self.run_mux(
                     queries,
-                    |i, q| {
-                        SimpleProtocol::new(i, self.leader, ell64, chunk, self.source(i, q, ell))
+                    |w: Wiring, q| {
+                        SimpleProtocol::new(w.id, w.leader, ell64, chunk, {
+                            self.source(w.shard, q, ell)
+                        })
                     },
                     plain_keys,
                 )
             }
             Algorithm::SaukasSong => self.run_mux(
                 queries,
-                |i, q| SaukasSongProtocol::new(i, k, self.leader, ell64, self.source(i, q, ell)),
+                |w: Wiring, q| {
+                    SaukasSongProtocol::new(
+                        w.id,
+                        w.k,
+                        w.leader,
+                        ell64,
+                        self.source(w.shard, q, ell),
+                    )
+                },
                 plain_keys,
             ),
             Algorithm::BinSearch => self.run_mux(
                 queries,
-                |i, q| BinSearchProtocol::new(i, k, self.leader, ell64, self.source(i, q, ell)),
+                |w: Wiring, q| {
+                    BinSearchProtocol::new(w.id, w.k, w.leader, ell64, self.source(w.shard, q, ell))
+                },
                 plain_keys,
             ),
         }
@@ -207,12 +243,11 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
     /// Answer `queries` approximately (pruning-only supersets, see
     /// [`crate::protocols::approx`]) in one multiplexed engine run.
     pub fn run_batch_approx(&self, queries: &[P], ell: usize) -> Result<BatchOutcome, CoreError> {
-        let k = self.shards.len();
         self.run_mux(
             queries,
-            |i, q| {
-                ApproxKnnProtocol::new(i, k, self.leader, ell as u64, self.opts.params, {
-                    self.source(i, q, ell)
+            |w: Wiring, q| {
+                ApproxKnnProtocol::new(w.id, w.k, w.leader, ell as u64, self.opts.params, {
+                    self.source(w.shard, q, ell)
                 })
             },
             |outs, j, leader| {
@@ -225,9 +260,15 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         )
     }
 
-    /// The shared batched-run skeleton: build one `build(machine, query)`
+    /// The shared batched-run skeleton: build one `build(wiring, query)`
     /// protocol instance per (machine, query), multiplex each machine's m
     /// instances over one engine run, and fold the outcome per query.
+    ///
+    /// Crash recovery mirrors [`crate::runner::run_query`]: an
+    /// unsalvageable [`EngineError::Crashed`] excludes the dead machine,
+    /// re-elects the leader over the survivors if it was the casualty, and
+    /// re-runs the whole batch on the surviving shards under the projected
+    /// fault plan; the outcome is then flagged [`BatchOutcome::degraded`].
     fn run_mux<'q, Proto, F, G>(
         &'q self,
         queries: &'q [P],
@@ -236,7 +277,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
     ) -> Result<BatchOutcome, CoreError>
     where
         Proto: Protocol,
-        F: Fn(usize, &'q P) -> Proto,
+        F: Fn(Wiring, &'q P) -> Proto,
         G: Fn(
             &mut [MuxOutput<Proto::Output>],
             usize,
@@ -247,20 +288,52 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         if queries.is_empty() {
             return Ok(self.empty_outcome(k));
         }
-        let cfg = self.opts.net_config(k);
-        let protos: Vec<MuxProtocol<Proto>> = (0..k)
-            .map(|i| MuxProtocol::new(queries.iter().map(|q| build(i, q)).collect()))
-            .collect();
-        let out = self.opts.engine.run(&cfg, protos)?;
-        Ok(self.assemble(queries.len(), out, extract))
+        let mut alive: Vec<MachineId> = (0..k).collect();
+        let mut leader = self.leader;
+        loop {
+            let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
+            let cfg = self.opts.subset_config(&alive);
+            let protos: Vec<MuxProtocol<Proto>> = (0..alive.len())
+                .map(|i| {
+                    let w = Wiring { id: i, shard: alive[i], k: alive.len(), leader: sub_leader };
+                    MuxProtocol::new(queries.iter().map(|q| build(w, q)).collect())
+                })
+                .collect();
+            match self.opts.engine.run(&cfg, protos) {
+                Ok(out) => {
+                    return Ok(self.assemble(
+                        queries.len(),
+                        &alive,
+                        leader,
+                        sub_leader,
+                        out,
+                        extract,
+                    ))
+                }
+                Err(EngineError::Crashed { machine, .. }) if alive.len() > 1 => {
+                    // `machine` indexes the failed run's subset.
+                    let dead = alive.remove(machine);
+                    if dead == leader {
+                        let (sub, _) = elect(alive.len(), &self.opts)?;
+                        leader = alive[sub];
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Fold one multiplexed [`kmachine::RunOutcome`] into per-query
     /// outcomes. `extract` moves `(local_keys, stats, approx_total,
-    /// contains_exact)` for query `j` out of the per-machine mux outputs.
+    /// contains_exact)` for query `j` out of the per-machine mux outputs
+    /// (subset order); answers are re-embedded into the full `k` shard
+    /// slots, with empty vectors for machines outside `alive`.
     fn assemble<T, F>(
         &self,
         m: usize,
+        alive: &[MachineId],
+        leader: MachineId,
+        sub_leader: MachineId,
         out: kmachine::RunOutcome<MuxOutput<T>>,
         extract: F,
     ) -> BatchOutcome
@@ -271,11 +344,16 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             MachineId,
         ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>),
     {
-        let kmachine::RunOutcome { mut outputs, metrics, skew, wall } = out;
+        let k = self.shards.len();
+        let kmachine::RunOutcome { mut outputs, metrics, skew, wall, faults } = out;
         let queries = (0..m)
             .map(|j| {
-                let (local_keys, stats, approx_total, contains_exact) =
-                    extract(&mut outputs, j, self.leader);
+                let (sub_keys, stats, approx_total, contains_exact) =
+                    extract(&mut outputs, j, sub_leader);
+                let mut local_keys = vec![Vec::new(); k];
+                for (i, keys) in sub_keys.into_iter().enumerate() {
+                    local_keys[alive[i]] = keys;
+                }
                 let tag: TagMetrics = metrics.tag(j as u32);
                 let done_round = outputs.iter().map(|mux| mux.done_round[j]).max().unwrap_or(0);
                 BatchQueryOutcome {
@@ -289,13 +367,17 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 }
             })
             .collect();
+        let shards_used = alive.len() - faults.crashed.len();
         BatchOutcome {
             queries,
             metrics,
             skew,
             wall,
-            leader: self.leader,
+            leader,
             election_metrics: self.election_metrics.clone(),
+            degraded: shards_used < k,
+            shards_used,
+            faults,
         }
     }
 
@@ -307,6 +389,9 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             wall: Duration::ZERO,
             leader: self.leader,
             election_metrics: self.election_metrics.clone(),
+            degraded: false,
+            shards_used: k,
+            faults: FaultMetrics::default(),
         }
     }
 }
@@ -430,6 +515,30 @@ mod tests {
                 assert_eq!(got.messages, want.messages, "{engine:?} query {j}");
                 assert_eq!(got.bits, want.bits, "{engine:?} query {j}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_recovers_from_a_crashed_leader() {
+        use kmachine::FaultPlan;
+        let values: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(48271) % 50_000).collect();
+        let sh = shards(&values, 5);
+        let idx = indices(&sh);
+        let opts =
+            QueryOptions { faults: FaultPlan::default().with_crash(0, 0), ..Default::default() };
+        let queries = [ScalarPoint(120), ScalarPoint(44_000)];
+        let session = QuerySession::new(&sh, &idx, opts.clone()).unwrap();
+        let batch = session.run_batch(&queries, 6, Algorithm::Knn).unwrap();
+        assert!(batch.degraded);
+        assert_eq!(batch.shards_used, 4);
+        assert_ne!(batch.leader, 0, "a dead leader cannot coordinate");
+        for (j, q) in queries.iter().enumerate() {
+            let bq = &batch.queries[j];
+            assert_eq!(bq.local_keys.len(), 5, "answers keep the full shard layout");
+            assert!(bq.local_keys[0].is_empty(), "the dead shard contributes nothing");
+            // Per-query answers match the sequential recovery path.
+            let solo = run_query(&sh, q, 6, Algorithm::Knn, &opts).unwrap();
+            assert_eq!(merge_answers(&bq.local_keys), merge_answers(&solo.local_keys), "{j}");
         }
     }
 

@@ -90,6 +90,112 @@ impl std::str::FromStr for DeliveryMode {
     }
 }
 
+/// Deterministic fault-injection plan: which machines straggle, which
+/// crash, and how lossy the links are.
+///
+/// Everything here is seeded and pure — two runs with the same
+/// [`NetConfig`] (including the same plan) inject byte-identical faults,
+/// on every engine and at every pool size. Stragglers are a pure
+/// wall-clock knob (the event engine delays their scheduling; outputs and
+/// metrics never change). Crashes are fail-stop: a machine with crash
+/// round `r` executes rounds `< r` and is then treated as done — its
+/// in-flight messages still drain, peers observe the horizon through
+/// [`crate::Ctx::crashed`], and the salvage hook
+/// [`crate::Protocol::on_crash`] decides whether the run can still
+/// collect an output for it (otherwise the run reports
+/// [`crate::EngineError::Crashed`]). Loss drops fully-transmitted
+/// messages pseudo-randomly per link; each drop re-enqueues the message at
+/// full size (the retransmission pays bandwidth again) until
+/// `max_retries` is exhausted, at which point the run aborts with
+/// [`crate::EngineError::LinkDown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// `(machine, factor)` speed multipliers: the event engine delays the
+    /// machine by `(factor − 1)` scheduling quanta per round. Factor 1 (or
+    /// an absent entry) means full speed. Realized skew shows up in
+    /// [`crate::metrics::SkewMetrics`] under relaxed delivery.
+    pub stragglers: Vec<(crate::message::MachineId, u32)>,
+    /// `(machine, round)` fail-stop injections: the machine executes rounds
+    /// `< round` and then stops (round 0: it never runs at all).
+    pub crashes: Vec<(crate::message::MachineId, u64)>,
+    /// Per-message drop probability in thousandths (0 = lossless,
+    /// 1000 = every message drops until the link goes down).
+    pub loss_per_mille: u16,
+    /// Retransmissions allowed per message before the link is declared
+    /// down.
+    pub max_retries: u32,
+    /// Seed of the loss process, independent of [`NetConfig::seed`] so the
+    /// same workload can be replayed under different fault draws.
+    pub fault_seed: u64,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.stragglers.is_empty() && self.crashes.is_empty() && self.loss_per_mille == 0
+    }
+
+    /// Round at which `machine` crashes (`u64::MAX`: never).
+    pub fn crash_round(&self, machine: crate::message::MachineId) -> u64 {
+        self.crashes
+            .iter()
+            .filter(|(m, _)| *m == machine)
+            .map(|&(_, r)| r)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Speed factor of `machine` (≥ 1; 1 = full speed).
+    pub fn slowdown(&self, machine: crate::message::MachineId) -> u32 {
+        self.stragglers.iter().find(|(m, _)| *m == machine).map_or(1, |&(_, f)| f.max(1))
+    }
+
+    /// Add a straggler entry.
+    pub fn with_straggler(mut self, machine: crate::message::MachineId, factor: u32) -> Self {
+        self.stragglers.push((machine, factor));
+        self
+    }
+
+    /// Add a crash entry.
+    pub fn with_crash(mut self, machine: crate::message::MachineId, round: u64) -> Self {
+        self.crashes.push((machine, round));
+        self
+    }
+
+    /// Set the loss rate and retry budget.
+    pub fn with_loss(mut self, per_mille: u16, max_retries: u32) -> Self {
+        self.loss_per_mille = per_mille.min(1000);
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Set the loss-process seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// Project the plan onto the surviving subset `alive` (original machine
+    /// ids, ascending): entries for machines outside `alive` are dropped,
+    /// the rest are remapped to the subset's indices. This is what a retry
+    /// over survivors runs under — the crash that killed the excluded
+    /// machine is gone, so the retry loop terminates.
+    pub fn project(&self, alive: &[crate::message::MachineId]) -> FaultPlan {
+        let remap = |m: crate::message::MachineId| alive.iter().position(|&a| a == m);
+        FaultPlan {
+            stragglers: self
+                .stragglers
+                .iter()
+                .filter_map(|&(m, f)| remap(m).map(|i| (i, f)))
+                .collect(),
+            crashes: self.crashes.iter().filter_map(|&(m, r)| remap(m).map(|i| (i, r))).collect(),
+            loss_per_mille: self.loss_per_mille,
+            max_retries: self.max_retries,
+            fault_seed: self.fault_seed,
+        }
+    }
+}
+
 /// Configuration of a simulated cluster run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetConfig {
@@ -129,6 +235,9 @@ pub struct NetConfig {
     /// the `KNN_DELIVERY` environment variable overrides it for every
     /// [`crate::Engine::run`] call.
     pub delivery: DeliveryMode,
+    /// Deterministic fault injection (default: no faults). See
+    /// [`FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 /// Default event-engine run-ahead window: deep enough to absorb scheduling
@@ -148,6 +257,7 @@ impl NetConfig {
             event_workers: None,
             event_window: DEFAULT_EVENT_WINDOW,
             delivery: DeliveryMode::Exact,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -191,6 +301,12 @@ impl NetConfig {
     /// Set the event engine's delivery discipline (see [`DeliveryMode`]).
     pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
         self.delivery = delivery;
+        self
+    }
+
+    /// Set the fault-injection plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -239,6 +355,56 @@ mod tests {
         assert_eq!(cfg.event_window, 2);
         let cfg = cfg.with_delivery(DeliveryMode::Relaxed);
         assert_eq!(cfg.delivery, DeliveryMode::Relaxed);
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_no_faults() {
+        let cfg = NetConfig::new(3);
+        assert!(cfg.faults.is_empty());
+        assert_eq!(cfg.faults.crash_round(0), u64::MAX);
+        assert_eq!(cfg.faults.slowdown(2), 1);
+    }
+
+    #[test]
+    fn fault_plan_builders_and_lookups() {
+        let plan = FaultPlan::default()
+            .with_straggler(1, 8)
+            .with_crash(2, 5)
+            .with_loss(50, 3)
+            .with_fault_seed(99);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.slowdown(1), 8);
+        assert_eq!(plan.slowdown(0), 1);
+        assert_eq!(plan.crash_round(2), 5);
+        assert_eq!(plan.crash_round(1), u64::MAX);
+        assert_eq!(plan.loss_per_mille, 50);
+        assert_eq!(plan.max_retries, 3);
+        assert_eq!(plan.fault_seed, 99);
+        // Multiple crash entries for one machine: the earliest wins; a
+        // straggler factor of 0 is clamped to full speed.
+        let plan = plan.with_crash(2, 3).with_straggler(3, 0);
+        assert_eq!(plan.crash_round(2), 3);
+        assert_eq!(plan.slowdown(3), 1);
+        let cfg = NetConfig::new(4).with_faults(plan.clone());
+        assert_eq!(cfg.faults, plan);
+    }
+
+    #[test]
+    fn fault_plan_projection_drops_and_remaps() {
+        let plan = FaultPlan::default()
+            .with_straggler(0, 2)
+            .with_straggler(3, 4)
+            .with_crash(1, 7)
+            .with_crash(3, 9)
+            .with_loss(10, 5)
+            .with_fault_seed(42);
+        // Machine 1 was excluded; 0, 2, 3 survive as 0, 1, 2.
+        let sub = plan.project(&[0, 2, 3]);
+        assert_eq!(sub.stragglers, vec![(0, 2), (2, 4)]);
+        assert_eq!(sub.crashes, vec![(2, 9)]);
+        assert_eq!(sub.loss_per_mille, 10);
+        assert_eq!(sub.max_retries, 5);
+        assert_eq!(sub.fault_seed, 42);
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct Ctx<'a, M> {
     pub(crate) outbox: &'a mut Vec<Envelope<M>>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) next_seq: &'a mut u64,
+    /// Per-machine crash horizons from the run's
+    /// [`crate::config::FaultPlan`] (`u64::MAX`: never crashes). Shared by
+    /// every machine of the run; observed through [`Ctx::crashed`].
+    pub(crate) crash_rounds: &'a [u64],
 }
 
 impl<'a, M: Payload> Ctx<'a, M> {
@@ -75,6 +79,18 @@ impl<'a, M: Payload> Ctx<'a, M> {
     pub fn first_from(&self, src: MachineId) -> Option<&M> {
         self.inbox.iter().find(|e| e.src == src).map(|e| &e.msg)
     }
+
+    /// Whether `peer` is observably crashed (fail-stop, injected via
+    /// [`crate::config::FaultPlan`]): it executed its last round and will
+    /// never send again. A peer crashing at round `r` becomes observable
+    /// from round `r + 1` on — one round after its silence starts, the
+    /// earliest a real cluster could detect the missing transport.
+    /// Messages the peer sent before crashing may still be in flight and
+    /// arrive after this turns true.
+    #[inline]
+    pub fn crashed(&self, peer: MachineId) -> bool {
+        self.round > self.crash_rounds[peer]
+    }
 }
 
 #[cfg(test)]
@@ -82,13 +98,16 @@ mod tests {
     use super::*;
     use crate::rng::machine_rng;
 
+    /// No machine ever crashes in these unit fixtures.
+    static NO_CRASHES: [u64; 4] = [u64::MAX; 4];
+
     fn mk_ctx<'a>(
         inbox: &'a [Envelope<u64>],
         outbox: &'a mut Vec<Envelope<u64>>,
         rng: &'a mut StdRng,
         seq: &'a mut u64,
     ) -> Ctx<'a, u64> {
-        Ctx { id: 1, k: 4, round: 3, inbox, outbox, rng, next_seq: seq }
+        Ctx { id: 1, k: 4, round: 3, inbox, outbox, rng, next_seq: seq, crash_rounds: &NO_CRASHES }
     }
 
     #[test]
@@ -116,6 +135,29 @@ mod tests {
         let mut seq = 0;
         let mut ctx = mk_ctx(&inbox, &mut outbox, &mut rng, &mut seq);
         ctx.send(1, 0);
+    }
+
+    #[test]
+    fn crash_horizon_becomes_observable_one_round_late() {
+        let inbox: Vec<Envelope<u64>> = vec![];
+        let mut outbox = Vec::new();
+        let mut rng = machine_rng(0, 1);
+        let mut seq = 0;
+        // Machine 2 crashed at round 2; this ctx executes round 3.
+        let horizons = [u64::MAX, u64::MAX, 2, 3];
+        let ctx = Ctx {
+            id: 1,
+            k: 4,
+            round: 3,
+            inbox: &inbox,
+            outbox: &mut outbox,
+            rng: &mut rng,
+            next_seq: &mut seq,
+            crash_rounds: &horizons,
+        };
+        assert!(!ctx.crashed(0), "healthy peers are never crashed");
+        assert!(ctx.crashed(2), "round 3 observes a round-2 crash");
+        assert!(!ctx.crashed(3), "a crash at the current round is not yet observable");
     }
 
     #[test]

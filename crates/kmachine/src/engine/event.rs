@@ -73,11 +73,12 @@ use rand::rngs::StdRng;
 
 use crate::config::{DeliveryMode, NetConfig};
 use crate::ctx::Ctx;
+use crate::engine::sync::{build_link, crash_horizons, crashed_error};
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::{RunMetrics, SkewMetrics, TagMetrics};
+use crate::metrics::{FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
@@ -86,6 +87,13 @@ use crate::rng::machine_rng;
 /// lost wakeup (the fast path never sleeps: any publish bumps the epoch and
 /// notifies parked workers).
 const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Wall-clock quantum a straggling machine loses per unit of slowdown: a
+/// [`crate::config::FaultPlan`] speed factor of `f` delays each of the
+/// machine's rounds by `(f − 1)` quanta. Purely a scheduling delay — the
+/// simulated execution is unchanged, only the realized skew (and wall
+/// clock) moves.
+const STRAGGLE_QUANTUM: Duration = Duration::from_micros(200);
 
 /// One machine's inbound staging ring: slot `t % window` collects what
 /// every source's transport phase `t` delivered toward this machine,
@@ -181,6 +189,17 @@ struct Shared<M> {
     sleepers: AtomicUsize,
     idle: Mutex<()>,
     cv: Condvar,
+    /// Per-machine fail-stop horizons from the fault plan (`u64::MAX`:
+    /// never crashes).
+    crash_rounds: Vec<u64>,
+    /// Per-machine speed factors from the fault plan (1: full speed).
+    slowdowns: Vec<u32>,
+    /// Retry budget a lossy link exhausts before going down (for the
+    /// [`EngineError::LinkDown`] report).
+    max_retries: u32,
+    /// Machines that hit their fail-stop horizon (unordered; sorted at
+    /// collection).
+    crashed: Mutex<Vec<usize>>,
 }
 
 impl<M> Shared<M> {
@@ -269,6 +288,10 @@ pub fn run_event<P: Protocol>(
         sleepers: AtomicUsize::new(0),
         idle: Mutex::new(()),
         cv: Condvar::new(),
+        crash_rounds: crash_horizons(cfg),
+        slowdowns: (0..k).map(|i| cfg.faults.slowdown(i)).collect(),
+        max_retries: cfg.faults.max_retries,
+        crashed: Mutex::new(Vec::new()),
     };
     let machines: Vec<Mutex<MachineState<P>>> = protocols
         .into_iter()
@@ -279,7 +302,7 @@ pub fn run_event<P: Protocol>(
                 rng: machine_rng(cfg.seed, id),
                 seq: 0,
                 round: 0,
-                fifos: (0..k).map(|_| LinkFifo::default()).collect(),
+                fifos: (0..k).map(|dst| build_link(cfg, id, dst)).collect(),
                 outbox: Vec::with_capacity(k),
                 inbox: Vec::with_capacity(k),
                 done: false,
@@ -318,9 +341,16 @@ pub fn run_event<P: Protocol>(
     let mut metrics = RunMetrics::new(k);
     metrics.rounds = fin;
     let mut skew = if shared.relaxed { SkewMetrics::new(k) } else { SkewMetrics::default() };
+    let mut crashed = std::mem::take(&mut *shared.crashed.lock());
+    crashed.sort_unstable();
+    let mut faults = FaultMetrics { crashed, ..Default::default() };
     let mut outs = Vec::with_capacity(k);
     for (i, m) in machines.into_iter().enumerate() {
         let st = m.into_inner();
+        for fifo in &st.fifos {
+            faults.dropped_messages += fifo.dropped();
+            faults.retransmitted_bits += fifo.retransmitted_bits();
+        }
         if shared.relaxed {
             skew.max_skew_per_machine[i] = st.max_skew;
             skew.max_skew = skew.max_skew.max(st.max_skew);
@@ -342,10 +372,15 @@ pub fn run_event<P: Protocol>(
         }
         match st.output {
             Some(o) => outs.push(o),
+            // A missing output with no recorded panic means a crashed
+            // machine's salvage hook declined — same report as `run_sync`.
+            None if !faults.crashed.is_empty() => {
+                return Err(crashed_error(&faults.crashed, &shared.crash_rounds))
+            }
             None => return Err(EngineError::WorkerPanic { machine: i }),
         }
     }
-    Ok(RunOutcome { outputs: outs, metrics, skew, wall })
+    Ok(RunOutcome { outputs: outs, metrics, skew, wall, faults })
 }
 
 /// Worker loop: sweep the machines (staggered start per worker so workers
@@ -468,6 +503,14 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
             return progressed;
         }
 
+        // Straggler injection: a slowed machine loses wall-clock on every
+        // round it executes. The simulated execution is untouched — under
+        // relaxed delivery the realized skew shows up in [`SkewMetrics`].
+        let slow = sh.slowdowns[id];
+        if slow > 1 && !st.done && !st.poisoned {
+            std::thread::sleep(STRAGGLE_QUANTUM * (slow - 1));
+        }
+
         // --- consume: reassemble this round's inbox in (src, seq) order ---
         consume_round(id, st, sh, r);
         st.inbox.sort_unstable_by_key(|e| (e.src, e.seq));
@@ -480,6 +523,20 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                 st.late.push((r, st.inbox.len() as u64));
                 st.inbox.clear();
             }
+        } else if r >= sh.crash_rounds[id] {
+            // Fail-stop: the machine never executes this round. The salvage
+            // hook may still account for its output; from here on it cycles
+            // like a done machine — earlier sends keep draining, late
+            // arrivals are discarded (and the round-r inbox counts as late,
+            // exactly as `run_sync` bills it).
+            if !st.inbox.is_empty() {
+                st.late.push((r, st.inbox.len() as u64));
+                st.inbox.clear();
+            }
+            st.output = st.proto.on_crash();
+            st.done = true;
+            sh.crashed.lock().push(id);
+            became_done = true;
         } else {
             let step = {
                 let mut ctx = Ctx {
@@ -490,6 +547,7 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                     outbox: &mut st.outbox,
                     rng: &mut st.rng,
                     next_seq: &mut st.seq,
+                    crash_rounds: &sh.crash_rounds,
                 };
                 catch_unwind(AssertUnwindSafe(|| st.proto.on_round(&mut ctx)))
             };
@@ -550,41 +608,43 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                 }
                 st.fifos[env.dst].push(env, bits);
             }
-            if became_done {
-                sh.final_round.fetch_max(r, Ordering::AcqRel);
-                let done_now = sh.done_count.fetch_add(1, Ordering::AcqRel) + 1;
-                if done_now == k {
-                    // Under exact delivery the wall-clock-last finisher
-                    // always holds the highest done round: any machine that
-                    // reached a higher round needed this one's transports
-                    // to get there, so this one would already have passed
-                    // that round. Like run_sync's break, round `r` sees no
-                    // transport. Under relaxed delivery a peer may have
-                    // raced past this machine on its promise and finished
-                    // in a *later* round, so the finisher must drain the
-                    // remaining rounds for exact late-delivery accounting
-                    // just like everyone else (the loop is empty when
-                    // `r == fin`, i.e. always in exact mode).
-                    debug_assert!(
-                        sh.relaxed || sh.final_round.load(Ordering::Acquire) == r,
-                        "exact delivery: last finisher must hold the final round"
-                    );
-                    st.round = r + 1;
-                    sh.stop.store(true, Ordering::Release);
-                    sh.cv.notify_all();
-                    let fin = sh.final_round.load(Ordering::Acquire);
-                    while st.round <= fin {
-                        let rr = st.round;
-                        consume_round(id, st, sh, rr);
-                        if !st.inbox.is_empty() {
-                            st.late.push((rr, st.inbox.len() as u64));
-                            st.inbox.clear();
-                        }
-                        st.round += 1;
+        }
+        if became_done {
+            sh.final_round.fetch_max(r, Ordering::AcqRel);
+            let done_now = sh.done_count.fetch_add(1, Ordering::AcqRel) + 1;
+            if done_now == k {
+                // Under exact delivery the wall-clock-last finisher
+                // always holds the highest done round: any machine that
+                // reached a higher round needed this one's transports
+                // to get there, so this one would already have passed
+                // that round (crashed machines keep publishing empty
+                // transports as done machines, so the argument covers
+                // them too). Like run_sync's break, round `r` sees no
+                // transport. Under relaxed delivery a peer may have
+                // raced past this machine on its promise and finished
+                // in a *later* round, so the finisher must drain the
+                // remaining rounds for exact late-delivery accounting
+                // just like everyone else (the loop is empty when
+                // `r == fin`, i.e. always in exact mode).
+                debug_assert!(
+                    sh.relaxed || sh.final_round.load(Ordering::Acquire) == r,
+                    "exact delivery: last finisher must hold the final round"
+                );
+                st.round = r + 1;
+                sh.stop.store(true, Ordering::Release);
+                sh.cv.notify_all();
+                let fin = sh.final_round.load(Ordering::Acquire);
+                while st.round <= fin {
+                    let rr = st.round;
+                    consume_round(id, st, sh, rr);
+                    if !st.inbox.is_empty() {
+                        st.late.push((rr, st.inbox.len() as u64));
+                        st.inbox.clear();
                     }
-                    exit(st, sh);
-                    return true;
+                    st.round += 1;
                 }
+                exit(st, sh);
+                return true;
             }
         }
 
@@ -608,6 +668,11 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
             fifo.drain_round(sh.budget, slot);
             delivered |= slot.len() > before;
             drop(ring);
+            if fifo.is_down() {
+                sh.fail(EngineError::LinkDown { src: id, dst, round: r, retries: sh.max_retries });
+                exit(st, sh);
+                return true;
+            }
             let pending = fifo.pending_bits();
             st.max_backlog = st.max_backlog.max(pending);
             pending_total += pending;
@@ -664,7 +729,16 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                 }
             };
             if stalled {
-                sh.fail(EngineError::Stalled { round: r });
+                // Survivors deadlocked on a crashed peer report the crash,
+                // not the stall — mirroring `run_sync`.
+                let crashed = sh.crashed.lock();
+                let err = if crashed.is_empty() {
+                    EngineError::Stalled { round: r }
+                } else {
+                    crashed_error(&crashed, &sh.crash_rounds)
+                };
+                drop(crashed);
+                sh.fail(err);
                 exit(st, sh);
                 return true;
             }
@@ -1281,6 +1355,103 @@ mod tests {
                 assert_eq!(got.metrics, want.metrics, "workers {workers}, window {window}");
             }
         }
+    }
+
+    // ---- fault injection: stragglers, crashes, lossy links ----
+
+    use crate::config::FaultPlan;
+
+    #[test]
+    fn straggler_injection_changes_nothing_but_wall_clock() {
+        let base = cfg(4).with_seed(7);
+        let slow = base.clone().with_faults(FaultPlan::default().with_straggler(2, 3));
+        let mk = || (0..4).map(|_| GossipSum { acc: 0, got: 0 }).collect::<Vec<_>>();
+        let want = run_sync(&base, mk()).unwrap();
+        let got = run_event(&slow, mk()).unwrap();
+        assert_eq!(want.outputs, got.outputs);
+        assert_eq!(want.metrics, got.metrics);
+        assert!(!got.faults.any(), "a straggler is not a fault the answer can observe");
+    }
+
+    #[test]
+    fn crash_deadlock_reports_crashed_not_stalled() {
+        // Machine 0 crashes before sending anything; machine 1 waits for a
+        // stream that never comes.
+        let cfg = cfg(2).with_faults(FaultPlan::default().with_crash(0, 0));
+        let err = run_event(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+            .unwrap_err();
+        assert_eq!(err, EngineError::Crashed { machine: 0, round: 0 });
+    }
+
+    /// Gossip that tolerates crashed peers via [`Ctx::crashed`] and
+    /// salvages a sentinel output — parity with `run_sync`.
+    struct CrashAwareGossip {
+        acc: u64,
+        heard: Vec<bool>,
+    }
+    impl Protocol for CrashAwareGossip {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.id() as u64);
+                return Step::Continue;
+            }
+            for e in ctx.inbox() {
+                self.acc += e.msg;
+                self.heard[e.src] = true;
+            }
+            let id = ctx.id();
+            let settled = (0..ctx.k()).all(|p| p == id || self.heard[p] || ctx.crashed(p));
+            if settled {
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+        fn on_crash(&mut self) -> Option<u64> {
+            Some(u64::MAX)
+        }
+    }
+
+    #[test]
+    fn salvageable_crash_matches_sync_exactly() {
+        let k = 3;
+        let cfg = cfg(k).with_faults(FaultPlan::default().with_crash(2, 0));
+        let mk = || {
+            (0..k).map(|_| CrashAwareGossip { acc: 0, heard: vec![false; k] }).collect::<Vec<_>>()
+        };
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_event(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.outputs, vec![1, 0, u64::MAX]);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(b.faults.crashed, vec![2]);
+    }
+
+    #[test]
+    fn lossy_run_matches_sync_exactly() {
+        let cfg = cfg(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_faults(FaultPlan::default().with_loss(200, 64).with_fault_seed(5));
+        let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_event(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.faults, b.faults, "loss process must be keyed identically");
+        assert!(b.faults.dropped_messages > 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_as_link_down() {
+        let cfg = cfg(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_faults(FaultPlan::default().with_loss(1000, 2));
+        let err = run_event(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+            .unwrap_err();
+        assert_eq!(err, EngineError::LinkDown { src: 0, dst: 1, round: 1, retries: 2 });
     }
 
     #[test]

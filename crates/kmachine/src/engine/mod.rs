@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{DeliveryMode, NetConfig};
 use crate::error::EngineError;
-use crate::metrics::{RunMetrics, SkewMetrics};
+use crate::metrics::{FaultMetrics, RunMetrics, SkewMetrics};
 use crate::protocol::Protocol;
 
 /// Environment variable that, when set, overrides every [`Engine::run`]
@@ -59,6 +59,12 @@ pub struct RunOutcome<T> {
     /// threaded and event engines; for the sync engine it is simulation CPU
     /// time.
     pub wall: Duration,
+    /// Realized faults of the run (crashed machines, dropped and
+    /// retransmitted traffic from the [`crate::config::FaultPlan`]). Like
+    /// [`RunOutcome::skew`], this lives outside [`RunMetrics`] — the
+    /// engine-equivalence contract covers it separately (same plan, same
+    /// faults on every engine), and fault-free runs report it empty.
+    pub faults: FaultMetrics,
 }
 
 /// Which engine to run a protocol on.
@@ -137,14 +143,17 @@ impl Engine {
     /// without declared quiet phases, relaxed mode is bookkeeping with no
     /// pipelining to buy. Explicitly chosen engines honor the requested
     /// mode as-is.
+    ///
+    /// A set-but-unparseable override fails the run with
+    /// [`EngineError::BadEnvOverride`] before any protocol executes.
     pub fn run<P: Protocol>(
         self,
         cfg: &NetConfig,
         protocols: Vec<P>,
     ) -> Result<RunOutcome<P::Output>, EngineError> {
-        let engine = env_engine().unwrap_or(self);
+        let engine = env_engine()?.unwrap_or(self);
         let delivery =
-            effective_delivery(engine, env_delivery().unwrap_or(cfg.delivery), P::QUIET_AWARE);
+            effective_delivery(engine, env_delivery()?.unwrap_or(cfg.delivery), P::QUIET_AWARE);
         let relaxed_cfg;
         let cfg = if delivery == cfg.delivery {
             cfg
@@ -189,30 +198,41 @@ impl std::str::FromStr for Engine {
 }
 
 /// Shared normalization for the [`ENGINE_ENV`] / [`DELIVERY_ENV`]
-/// overrides: an unset or whitespace-only variable means "no override", and
-/// anything else must parse — a forced-engine CI run with a typo must fail
-/// loudly (with the variants listed), not silently fall back. Pure in the
-/// raw value so the policy is testable without mutating process
-/// environment; both FromStr impls trim and lowercase, so `" Event "` and
-/// `"RELAXED"` are accepted.
-///
-/// # Panics
-/// If `raw` is non-blank and unparseable.
-fn parse_env_override<T: std::str::FromStr<Err = String>>(var: &str, raw: &str) -> Option<T> {
+/// overrides: an unset or whitespace-only variable means "no override"
+/// (`Ok(None)`), and anything else must parse — a forced-engine CI run with
+/// a typo must fail loudly (with the variants listed), not silently fall
+/// back. The failure is a typed [`EngineError::BadEnvOverride`] surfaced
+/// through [`Engine::run`], never a panic: library callers embed the engine
+/// in long-lived services, and a typo in a deploy environment should be an
+/// error they can report, not a process abort (the bench binaries turn it
+/// back into a loud exit via `unwrap`/`expect`). Pure in the raw value so
+/// the policy is testable without mutating process environment; both
+/// FromStr impls trim and lowercase, so `" Event "` and `"RELAXED"` are
+/// accepted.
+fn parse_env_override<T: std::str::FromStr<Err = String>>(
+    var: &'static str,
+    raw: &str,
+) -> Result<Option<T>, EngineError> {
     if raw.trim().is_empty() {
-        return None;
+        return Ok(None);
     }
-    Some(raw.parse().unwrap_or_else(|e| panic!("{var}: {e}")))
+    raw.parse().map(Some).map_err(|reason| EngineError::BadEnvOverride { var, reason })
 }
 
 /// The [`ENGINE_ENV`] override, if set (see [`parse_env_override`]).
-fn env_engine() -> Option<Engine> {
-    parse_env_override(ENGINE_ENV, &std::env::var(ENGINE_ENV).ok()?)
+fn env_engine() -> Result<Option<Engine>, EngineError> {
+    match std::env::var(ENGINE_ENV) {
+        Ok(raw) => parse_env_override(ENGINE_ENV, &raw),
+        Err(_) => Ok(None),
+    }
 }
 
 /// The [`DELIVERY_ENV`] override, if set (see [`parse_env_override`]).
-fn env_delivery() -> Option<DeliveryMode> {
-    parse_env_override(DELIVERY_ENV, &std::env::var(DELIVERY_ENV).ok()?)
+fn env_delivery() -> Result<Option<DeliveryMode>, EngineError> {
+    match std::env::var(DELIVERY_ENV) {
+        Ok(raw) => parse_env_override(DELIVERY_ENV, &raw),
+        Err(_) => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -236,25 +256,41 @@ mod tests {
     #[test]
     fn env_override_parsing_is_normalized() {
         // Unset-like values mean "no override"...
-        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, ""), None);
-        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, "  \t"), None);
-        assert_eq!(parse_env_override::<DeliveryMode>(DELIVERY_ENV, ""), None);
+        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, "").unwrap(), None);
+        assert_eq!(parse_env_override::<Engine>(ENGINE_ENV, "  \t").unwrap(), None);
+        assert_eq!(parse_env_override::<DeliveryMode>(DELIVERY_ENV, "").unwrap(), None);
         // ...valid values parse case/whitespace-insensitively...
-        assert_eq!(parse_env_override(ENGINE_ENV, " Event "), Some(Engine::Event));
-        assert_eq!(parse_env_override(DELIVERY_ENV, "RELAXED"), Some(DeliveryMode::Relaxed));
-        assert_eq!(parse_env_override(DELIVERY_ENV, "exact\n"), Some(DeliveryMode::Exact));
+        assert_eq!(parse_env_override(ENGINE_ENV, " Event ").unwrap(), Some(Engine::Event));
+        assert_eq!(
+            parse_env_override(DELIVERY_ENV, "RELAXED").unwrap(),
+            Some(DeliveryMode::Relaxed)
+        );
+        assert_eq!(parse_env_override(DELIVERY_ENV, "exact\n").unwrap(), Some(DeliveryMode::Exact));
     }
 
     #[test]
-    #[should_panic(expected = "KNN_ENGINE")]
-    fn invalid_engine_env_fails_loudly() {
-        let _ = parse_env_override::<Engine>(ENGINE_ENV, "barrier");
+    fn invalid_engine_env_is_a_typed_error() {
+        let err = parse_env_override::<Engine>(ENGINE_ENV, "barrier").unwrap_err();
+        match &err {
+            EngineError::BadEnvOverride { var, reason } => {
+                assert_eq!(*var, ENGINE_ENV);
+                assert!(reason.contains("sync|threaded|event|auto"), "{reason}");
+            }
+            other => panic!("expected BadEnvOverride, got {other:?}"),
+        }
+        assert!(err.to_string().contains("KNN_ENGINE"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "exact|relaxed")]
-    fn invalid_delivery_env_fails_loudly() {
-        let _ = parse_env_override::<DeliveryMode>(DELIVERY_ENV, "lossy");
+    fn invalid_delivery_env_is_a_typed_error() {
+        let err = parse_env_override::<DeliveryMode>(DELIVERY_ENV, "lossy").unwrap_err();
+        match &err {
+            EngineError::BadEnvOverride { var, reason } => {
+                assert_eq!(*var, DELIVERY_ENV);
+                assert!(reason.contains("exact|relaxed"), "{reason}");
+            }
+            other => panic!("expected BadEnvOverride, got {other:?}"),
+        }
     }
 
     #[test]

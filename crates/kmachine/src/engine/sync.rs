@@ -8,12 +8,41 @@ use crate::config::NetConfig;
 use crate::ctx::Ctx;
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
-use crate::link::LinkFifo;
+use crate::link::{LinkFifo, LossConfig};
 use crate::message::Envelope;
-use crate::metrics::RunMetrics;
+use crate::metrics::{FaultMetrics, RunMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
+
+/// One link `src → dst`, lossy when the fault plan says so. All three
+/// engines build their links through this, so the loss process is keyed
+/// identically everywhere.
+pub(crate) fn build_link<M>(cfg: &NetConfig, src: usize, dst: usize) -> LinkFifo<M> {
+    if cfg.faults.loss_per_mille == 0 {
+        LinkFifo::default()
+    } else {
+        LinkFifo::lossy(LossConfig {
+            per_mille: cfg.faults.loss_per_mille,
+            max_retries: cfg.faults.max_retries,
+            seed: cfg.faults.fault_seed,
+            src,
+            dst,
+        })
+    }
+}
+
+/// Per-machine crash horizons from the fault plan (`u64::MAX`: never).
+pub(crate) fn crash_horizons(cfg: &NetConfig) -> Vec<u64> {
+    (0..cfg.k).map(|i| cfg.faults.crash_round(i)).collect()
+}
+
+/// The `Crashed` error every engine reports identically: the lowest
+/// crashed machine id, with its scheduled crash round.
+pub(crate) fn crashed_error(crashed: &[usize], crash_rounds: &[u64]) -> EngineError {
+    let machine = *crashed.iter().min().expect("at least one crashed machine");
+    EngineError::Crashed { machine, round: crash_rounds[machine] }
+}
 
 /// Execute one protocol instance per machine until every machine has
 /// produced its output.
@@ -48,8 +77,14 @@ pub fn run_sync<P: Protocol>(
     // tree/hash nodes; per-destination delivery walks sources in ascending
     // order — the same deterministic inbox order the threaded engine
     // recreates by sorting. Memory is O(k²) FIFO headers (~40 B each).
-    let mut links: Vec<LinkFifo<P::Msg>> = (0..k * k).map(|_| LinkFifo::default()).collect();
+    let mut links: Vec<LinkFifo<P::Msg>> =
+        (0..k * k).map(|idx| build_link(cfg, idx % k, idx / k)).collect();
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
+    let crash_rounds = crash_horizons(cfg);
+    // Halted = produced an output OR crashed: either way the machine is no
+    // longer scheduled and its late arrivals are discarded.
+    let mut halted = vec![false; k];
+    let mut crashed: Vec<usize> = Vec::new();
     let mut done_count = 0usize;
     let mut round: u64 = 0;
 
@@ -57,7 +92,22 @@ pub fn run_sync<P: Protocol>(
         let mut sent_any = false;
         let mut progressed = false;
         for i in 0..k {
-            if outputs[i].is_some() {
+            if halted[i] {
+                if !inboxes[i].is_empty() {
+                    metrics.delivered_after_done += inboxes[i].len() as u64;
+                    inboxes[i].clear();
+                }
+                continue;
+            }
+            if round >= crash_rounds[i] {
+                // Fail-stop: the machine never executes this round. Its
+                // salvage hook may still account for its output; messages
+                // delivered to the corpse count as late.
+                outputs[i] = protocols[i].on_crash();
+                crashed.push(i);
+                halted[i] = true;
+                done_count += 1;
+                progressed = true;
                 if !inboxes[i].is_empty() {
                     metrics.delivered_after_done += inboxes[i].len() as u64;
                     inboxes[i].clear();
@@ -76,6 +126,7 @@ pub fn run_sync<P: Protocol>(
                     outbox: &mut outbox,
                     rng: &mut rngs[i],
                     next_seq: &mut seqs[i],
+                    crash_rounds: &crash_rounds,
                 };
                 protocols[i].on_round(&mut ctx)
             };
@@ -88,6 +139,7 @@ pub fn run_sync<P: Protocol>(
             }
             if let Step::Done(out) = step {
                 outputs[i] = Some(out);
+                halted[i] = true;
                 done_count += 1;
                 progressed = true;
             }
@@ -103,11 +155,19 @@ pub fn run_sync<P: Protocol>(
         let mut backlog_bits = 0u64;
         for (dst, inbox) in inboxes.iter_mut().enumerate() {
             let before = inbox.len();
-            for link in &mut links[dst * k..(dst + 1) * k] {
+            for (src, link) in links[dst * k..(dst + 1) * k].iter_mut().enumerate() {
                 if link.is_empty() {
                     continue;
                 }
                 link.drain_round(budget, inbox);
+                if link.is_down() {
+                    return Err(EngineError::LinkDown {
+                        src,
+                        dst,
+                        round,
+                        retries: cfg.faults.max_retries,
+                    });
+                }
                 let pending = link.pending_bits();
                 metrics.max_link_backlog_bits = metrics.max_link_backlog_bits.max(pending);
                 backlog_bits += pending;
@@ -116,6 +176,12 @@ pub fn run_sync<P: Protocol>(
         }
 
         if !sent_any && !delivered_any && !progressed && backlog_bits == 0 {
+            // Survivors deadlocked waiting for a crashed peer's messages:
+            // report the crash, not the stall, so callers know a retry over
+            // the survivors can succeed.
+            if !crashed.is_empty() {
+                return Err(crashed_error(&crashed, &crash_rounds));
+            }
             return Err(EngineError::Stalled { round });
         }
         round += 1;
@@ -124,12 +190,25 @@ pub fn run_sync<P: Protocol>(
         }
     }
 
+    // A crashed machine whose salvage hook declined leaves a hole no output
+    // can fill: collection fails with the (deterministic) crash report.
+    if outputs.iter().any(|o| o.is_none()) {
+        return Err(crashed_error(&crashed, &crash_rounds));
+    }
+
     metrics.rounds = round;
+    crashed.sort_unstable();
+    let mut faults = FaultMetrics { crashed, ..Default::default() };
+    for link in &links {
+        faults.dropped_messages += link.dropped();
+        faults.retransmitted_bits += link.retransmitted_bits();
+    }
     Ok(RunOutcome {
         outputs: outputs.into_iter().map(|o| o.expect("all machines done")).collect(),
         metrics,
         skew: crate::metrics::SkewMetrics::default(),
         wall: start.elapsed(),
+        faults,
     })
 }
 
@@ -304,5 +383,106 @@ mod tests {
         let b = run_sync(&cfg, mk()).unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    use crate::config::FaultPlan;
+
+    #[test]
+    fn unsalvageable_crash_fails_collection() {
+        // Machine 1 crashes before running at all; Stream has no salvage
+        // hook, so the run reports the crash even though machine 0 is done.
+        let cfg = NetConfig::new(2).with_faults(FaultPlan::default().with_crash(1, 0));
+        let err = run_sync(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+            .unwrap_err();
+        assert_eq!(err, EngineError::Crashed { machine: 1, round: 0 });
+    }
+
+    #[test]
+    fn deadlock_on_crashed_peer_reports_crashed_not_stalled() {
+        // Machine 1 crashes after round 0 and never returns the token;
+        // machine 0 waits forever. The stall must be attributed to the
+        // crash so callers know retrying over survivors can work.
+        let cfg = NetConfig::new(2).with_faults(FaultPlan::default().with_crash(1, 1));
+        let err =
+            run_sync(&cfg, vec![PingPong { remaining: 6 }, PingPong { remaining: 6 }]).unwrap_err();
+        assert_eq!(err, EngineError::Crashed { machine: 1, round: 1 });
+    }
+
+    /// Gossip that tolerates crashed peers: done once every peer has either
+    /// been heard from or is observably crashed; a crashed machine salvages
+    /// a sentinel output.
+    struct CrashAwareGossip {
+        acc: u64,
+        heard: Vec<bool>,
+    }
+    impl Protocol for CrashAwareGossip {
+        type Msg = u64;
+        type Output = u64;
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) -> Step<u64> {
+            if ctx.round() == 0 {
+                ctx.broadcast(ctx.id() as u64);
+                return Step::Continue;
+            }
+            for e in ctx.inbox() {
+                self.acc += e.msg;
+                self.heard[e.src] = true;
+            }
+            let id = ctx.id();
+            let settled = (0..ctx.k()).all(|p| p == id || self.heard[p] || ctx.crashed(p));
+            if settled {
+                Step::Done(self.acc)
+            } else {
+                Step::Continue
+            }
+        }
+        fn on_crash(&mut self) -> Option<u64> {
+            Some(u64::MAX)
+        }
+    }
+
+    #[test]
+    fn salvageable_crash_completes_with_fault_accounting() {
+        let k = 3;
+        let cfg = NetConfig::new(k).with_faults(FaultPlan::default().with_crash(2, 0));
+        let protos = (0..k).map(|_| CrashAwareGossip { acc: 0, heard: vec![false; k] }).collect();
+        let out = run_sync(&cfg, protos).unwrap();
+        // Machines 0 and 1 heard only each other; machine 2 never ran.
+        assert_eq!(out.outputs, vec![1, 0, u64::MAX]);
+        assert_eq!(out.faults.crashed, vec![2]);
+        assert!(out.faults.any());
+    }
+
+    #[test]
+    fn lossy_links_retry_to_the_same_answer() {
+        let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
+        let clean_cfg =
+            NetConfig::new(2).with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 });
+        let clean = run_sync(&clean_cfg, mk()).unwrap();
+        let lossy_cfg = clean_cfg
+            .clone()
+            .with_faults(FaultPlan::default().with_loss(200, 64).with_fault_seed(5));
+        let lossy = run_sync(&lossy_cfg, mk()).unwrap();
+        assert_eq!(lossy.outputs, clean.outputs, "retries must deliver everything");
+        assert!(lossy.faults.dropped_messages > 0, "20% loss over 64 messages drops some");
+        assert_eq!(
+            lossy.faults.retransmitted_bits,
+            lossy.faults.dropped_messages * 64,
+            "every drop re-pays the full message"
+        );
+        // The protocol's bill is unchanged — retransmission is fault-layer
+        // bookkeeping — but the retries consume real rounds of bandwidth.
+        assert_eq!(lossy.metrics.messages, clean.metrics.messages);
+        assert_eq!(lossy.metrics.bits, clean.metrics.bits);
+        assert!(lossy.metrics.rounds > clean.metrics.rounds);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_as_link_down() {
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_faults(FaultPlan::default().with_loss(1000, 2));
+        let err = run_sync(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+            .unwrap_err();
+        assert_eq!(err, EngineError::LinkDown { src: 0, dst: 1, round: 1, retries: 2 });
     }
 }

@@ -36,11 +36,12 @@ use parking_lot::Mutex;
 
 use crate::config::NetConfig;
 use crate::ctx::Ctx;
+use crate::engine::sync::{build_link, crash_horizons, crashed_error};
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::{RunMetrics, TagMetrics};
+use crate::metrics::{FaultMetrics, RunMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::rng::machine_rng;
@@ -69,6 +70,11 @@ struct Shared<M> {
     delivered_after_done: AtomicU64,
     max_backlog: AtomicU64,
     per_tag: Mutex<Vec<TagMetrics>>,
+    /// Machines that hit their fail-stop horizon (unordered; sorted once at
+    /// collection).
+    crashed: Mutex<Vec<usize>>,
+    dropped: AtomicU64,
+    retransmitted_bits: AtomicU64,
 }
 
 /// Execute one protocol instance per machine, each on its own OS thread.
@@ -106,9 +112,13 @@ pub fn run_threaded<P: Protocol>(
         delivered_after_done: AtomicU64::new(0),
         max_backlog: AtomicU64::new(0),
         per_tag: Mutex::new(Vec::new()),
+        crashed: Mutex::new(Vec::new()),
+        dropped: AtomicU64::new(0),
+        retransmitted_bits: AtomicU64::new(0),
     };
     let outputs: Vec<Mutex<Option<P::Output>>> = (0..k).map(|_| Mutex::new(None)).collect();
     let sends: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+    let crash_rounds = crash_horizons(cfg);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -116,8 +126,9 @@ pub fn run_threaded<P: Protocol>(
             let shared = &shared;
             let outputs = &outputs;
             let sends = &sends;
+            let crash_rounds = &crash_rounds;
             scope.spawn(move || {
-                machine_main(id, k, cfg, budget, proto, shared, outputs, sends);
+                machine_main(id, k, cfg, budget, proto, shared, outputs, sends, crash_rounds);
             });
         }
     });
@@ -135,14 +146,30 @@ pub fn run_threaded<P: Protocol>(
     metrics.sends_per_machine = sends.iter().map(|a| a.load(Ordering::Acquire)).collect();
     metrics.per_tag = std::mem::take(&mut *shared.per_tag.lock());
 
+    let mut crashed = std::mem::take(&mut *shared.crashed.lock());
+    crashed.sort_unstable();
     let mut outs = Vec::with_capacity(k);
     for (i, slot) in outputs.iter().enumerate() {
         match slot.lock().take() {
             Some(o) => outs.push(o),
+            // A missing output with no recorded panic means a crashed
+            // machine's salvage hook declined — same report as `run_sync`.
+            None if !crashed.is_empty() => return Err(crashed_error(&crashed, &crash_rounds)),
             None => return Err(EngineError::WorkerPanic { machine: i }),
         }
     }
-    Ok(RunOutcome { outputs: outs, metrics, skew: crate::metrics::SkewMetrics::default(), wall })
+    let faults = FaultMetrics {
+        crashed,
+        dropped_messages: shared.dropped.load(Ordering::Acquire),
+        retransmitted_bits: shared.retransmitted_bits.load(Ordering::Acquire),
+    };
+    Ok(RunOutcome {
+        outputs: outs,
+        metrics,
+        skew: crate::metrics::SkewMetrics::default(),
+        wall,
+        faults,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -155,13 +182,14 @@ fn machine_main<P: Protocol>(
     shared: &Shared<P::Msg>,
     outputs: &[Mutex<Option<P::Output>>],
     sends: &[AtomicU64],
+    crash_rounds: &[u64],
 ) {
     let mut rng = machine_rng(cfg.seed, id);
     let mut seq = 0u64;
     // Dense link row: `links[dst]` is this sender's FIFO toward `dst`
     // (`links[id]` stays empty — the model has no self-loops). Allocated
     // once, reused every round.
-    let mut links: Vec<LinkFifo<P::Msg>> = (0..k).map(|_| LinkFifo::default()).collect();
+    let mut links: Vec<LinkFifo<P::Msg>> = (0..k).map(|dst| build_link(cfg, id, dst)).collect();
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
     let mut msgs: Vec<Envelope<P::Msg>> = Vec::with_capacity(k * STAGE_SLOT_PREALLOC);
     let mut my_pending_bits = 0u64;
@@ -179,14 +207,25 @@ fn machine_main<P: Protocol>(
             let all_done = shared.done_count.load(Ordering::Acquire) == k;
             let backlog = shared.backlog_bits.load(Ordering::Acquire);
             let active = shared.activity.swap(false, Ordering::AcqRel);
-            if all_done {
+            if shared.error.lock().is_some() {
+                // A fault (link down) or panic was recorded last round;
+                // stop the lockstep rather than grinding toward a stall.
+                shared.stop.store(true, Ordering::Release);
+            } else if all_done {
                 shared.rounds.store(round.saturating_sub(1), Ordering::Release);
                 shared.stop.store(true, Ordering::Release);
             } else if round > cfg.max_rounds {
                 *shared.error.lock() = Some(EngineError::MaxRounds { limit: cfg.max_rounds });
                 shared.stop.store(true, Ordering::Release);
             } else if round > 0 && !active && backlog == 0 {
-                *shared.error.lock() = Some(EngineError::Stalled { round: round - 1 });
+                // Survivors deadlocked on a crashed peer report the crash,
+                // not the stall — mirroring `run_sync`.
+                let crashed = shared.crashed.lock();
+                *shared.error.lock() = Some(if crashed.is_empty() {
+                    EngineError::Stalled { round: round - 1 }
+                } else {
+                    crashed_error(&crashed, crash_rounds)
+                });
                 shared.stop.store(true, Ordering::Release);
             } else if !cfg.round_latency.is_zero() {
                 std::thread::sleep(cfg.round_latency);
@@ -210,6 +249,17 @@ fn machine_main<P: Protocol>(
         // Phase 3: compute + transport. Keys (src, seq) are unique, so the
         // unstable sort's lack of stability is unobservable.
         msgs.sort_unstable_by_key(|e| (e.src, e.seq));
+        if !done && !poisoned && round >= crash_rounds[id] {
+            // Fail-stop: this machine never executes this round. The
+            // salvage hook may still account for its output; from here on
+            // it behaves like a done machine (earlier sends keep draining,
+            // late arrivals are discarded).
+            *outputs[id].lock() = proto.on_crash();
+            shared.crashed.lock().push(id);
+            shared.done_count.fetch_add(1, Ordering::AcqRel);
+            shared.activity.store(true, Ordering::Release);
+            done = true;
+        }
         if done || poisoned {
             if !msgs.is_empty() {
                 shared.delivered_after_done.fetch_add(msgs.len() as u64, Ordering::AcqRel);
@@ -226,6 +276,7 @@ fn machine_main<P: Protocol>(
                     outbox: &mut outbox,
                     rng: &mut rng,
                     next_seq: &mut seq,
+                    crash_rounds,
                 };
                 catch_unwind(AssertUnwindSafe(|| proto.on_round(&mut ctx)))
             };
@@ -285,6 +336,17 @@ fn machine_main<P: Protocol>(
             link.drain_round(budget, &mut slot);
             delivered_any |= slot.len() > before;
             drop(slot);
+            if link.is_down() {
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(EngineError::LinkDown {
+                        src: id,
+                        dst,
+                        round,
+                        retries: cfg.faults.max_retries,
+                    });
+                }
+            }
             let pending = link.pending_bits();
             shared.max_backlog.fetch_max(pending, Ordering::AcqRel);
             now_pending += pending;
@@ -309,6 +371,15 @@ fn machine_main<P: Protocol>(
             total.messages += mine.messages;
             total.bits += mine.bits;
         }
+    }
+    let (mut dropped, mut retransmitted) = (0u64, 0u64);
+    for link in &links {
+        dropped += link.dropped();
+        retransmitted += link.retransmitted_bits();
+    }
+    if dropped > 0 {
+        shared.dropped.fetch_add(dropped, Ordering::AcqRel);
+        shared.retransmitted_bits.fetch_add(retransmitted, Ordering::AcqRel);
     }
 }
 
@@ -434,6 +505,56 @@ mod tests {
         let cfg = NetConfig::new(2);
         let err = run_threaded(&cfg, vec![PanicsOnRoundOne, PanicsOnRoundOne]).unwrap_err();
         assert_eq!(err, EngineError::WorkerPanic { machine: 1 });
+    }
+
+    use crate::config::FaultPlan;
+
+    #[test]
+    fn unsalvageable_crash_reported_identically_to_sync() {
+        let cfg = NetConfig::new(2).with_faults(FaultPlan::default().with_crash(1, 0));
+        let mk = || vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }];
+        let a = run_sync(&cfg, mk()).unwrap_err();
+        let b = run_threaded(&cfg, mk()).unwrap_err();
+        assert_eq!(a, EngineError::Crashed { machine: 1, round: 0 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deadlock_on_crashed_peer_reports_crashed_not_stalled() {
+        // Machine 0 crashes before sending anything; machine 1 waits for a
+        // stream that never comes. The stall is attributed to the crash.
+        let cfg = NetConfig::new(2).with_faults(FaultPlan::default().with_crash(0, 0));
+        let err =
+            run_threaded(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+                .unwrap_err();
+        assert_eq!(err, EngineError::Crashed { machine: 0, round: 0 });
+    }
+
+    #[test]
+    fn lossy_run_matches_sync_exactly() {
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_faults(FaultPlan::default().with_loss(200, 64).with_fault_seed(5));
+        let mk = || vec![Stream { n: 64, received: 0 }, Stream { n: 64, received: 0 }];
+        let a = run_sync(&cfg, mk()).unwrap();
+        let b = run_threaded(&cfg, mk()).unwrap();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics.rounds, b.metrics.rounds);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.metrics.bits, b.metrics.bits);
+        assert_eq!(a.faults, b.faults, "loss process must be keyed identically");
+        assert!(b.faults.dropped_messages > 0);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_as_link_down() {
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_faults(FaultPlan::default().with_loss(1000, 2));
+        let err =
+            run_threaded(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+                .unwrap_err();
+        assert_eq!(err, EngineError::LinkDown { src: 0, dst: 1, round: 1, retries: 2 });
     }
 
     #[test]

@@ -35,6 +35,42 @@ pub enum EngineError {
         /// The silent horizon the machine had promised.
         promised_until: u64,
     },
+    /// A machine crashed (fail-stop, injected via
+    /// [`crate::config::FaultPlan`]) and the run could not complete
+    /// without it: either the protocol's [`crate::Protocol::on_crash`]
+    /// salvage hook declined to produce an output for it, or surviving
+    /// machines deadlocked waiting for its messages. Callers recover by
+    /// retrying over the surviving machines.
+    Crashed {
+        /// The crashed machine (lowest id when several crashed).
+        machine: usize,
+        /// The round it was scheduled to crash at (its first unexecuted
+        /// round).
+        round: u64,
+    },
+    /// A lossy link dropped one message more than
+    /// [`crate::config::FaultPlan::max_retries`] times; the link is
+    /// declared down and the run aborts instead of hanging on traffic that
+    /// will never arrive.
+    LinkDown {
+        /// Sending machine of the dead link.
+        src: usize,
+        /// Receiving machine of the dead link.
+        dst: usize,
+        /// Round in which the retry budget ran out.
+        round: u64,
+        /// The exhausted retry budget.
+        retries: u32,
+    },
+    /// A `KNN_ENGINE` / `KNN_DELIVERY` environment override did not parse.
+    /// Surfaced as an error (not a panic) so long-running serving binaries
+    /// report a typo instead of aborting.
+    BadEnvOverride {
+        /// The offending environment variable.
+        var: &'static str,
+        /// Why its value was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -59,6 +95,19 @@ impl fmt::Display for EngineError {
                      round {promised_until}"
                 )
             }
+            EngineError::Crashed { machine, round } => {
+                write!(f, "machine {machine} crashed at round {round} and the run cannot complete without it")
+            }
+            EngineError::LinkDown { src, dst, round, retries } => {
+                write!(
+                    f,
+                    "link {src} -> {dst} went down at round {round} after exhausting {retries} \
+                     retransmissions"
+                )
+            }
+            EngineError::BadEnvOverride { var, reason } => {
+                write!(f, "invalid {var} environment override: {reason}")
+            }
         }
     }
 }
@@ -80,5 +129,12 @@ mod tests {
         let s =
             EngineError::PromiseViolated { machine: 2, round: 7, promised_until: 12 }.to_string();
         assert!(s.contains("machine 2") && s.contains("round 7") && s.contains("12"));
+        let s = EngineError::Crashed { machine: 1, round: 4 }.to_string();
+        assert!(s.contains("machine 1") && s.contains("round 4"));
+        let s = EngineError::LinkDown { src: 0, dst: 2, round: 9, retries: 3 }.to_string();
+        assert!(s.contains("0 -> 2") && s.contains("round 9") && s.contains("3"));
+        let s =
+            EngineError::BadEnvOverride { var: "KNN_ENGINE", reason: "nope".into() }.to_string();
+        assert!(s.contains("KNN_ENGINE") && s.contains("nope"));
     }
 }

@@ -35,6 +35,12 @@
 //!   per-instance message/bit attribution
 //!   ([`RunMetrics::per_tag`](metrics::RunMetrics::per_tag));
 //! * leader election protocols ([`leader`]);
+//! * deterministic fault injection ([`FaultPlan`]): seeded per-link message
+//!   loss with bounded retransmission ([`EngineError::LinkDown`] once the
+//!   retry budget is exhausted), fail-stop crashes with a salvage hook
+//!   ([`Protocol::on_crash`], observed by peers via [`Ctx::crashed`]), and
+//!   wall-clock stragglers — the realized faults are identical on every
+//!   engine and reported in [`RunOutcome::faults`];
 //! * reproducible per-machine randomness derived from a single master seed.
 //!
 //! ## Example
@@ -96,13 +102,13 @@ pub mod payload;
 pub mod protocol;
 pub mod rng;
 
-pub use config::{BandwidthMode, DeliveryMode, NetConfig};
+pub use config::{BandwidthMode, DeliveryMode, FaultPlan, NetConfig};
 pub use ctx::Ctx;
 pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, DELIVERY_ENV, ENGINE_ENV};
 pub use error::EngineError;
-pub use link::LinkFifo;
+pub use link::{LinkFifo, LossConfig};
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
-pub use metrics::{RunMetrics, SkewMetrics, TagMetrics};
+pub use metrics::{FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
 pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};
 pub use payload::Payload;
 pub use protocol::{Protocol, Step};

@@ -60,6 +60,37 @@ impl SkewMetrics {
     }
 }
 
+/// Realized-fault accounting of one run under a
+/// [`crate::config::FaultPlan`].
+///
+/// Carried on [`crate::RunOutcome::faults`], *not* inside [`RunMetrics`],
+/// for the same reason as [`SkewMetrics`]: the engine-equivalence contract
+/// compares `RunMetrics` byte-for-byte across engines, and retransmission
+/// traffic is fault-layer bookkeeping, not protocol cost — the protocol's
+/// bill stays identical whether or not the network dropped and re-sent
+/// under it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMetrics {
+    /// Machines that executed their scheduled crash during this run,
+    /// ascending. Empty in a fault-free (or crash-free) run.
+    pub crashed: Vec<usize>,
+    /// Messages dropped by lossy links (each drop triggers a
+    /// retransmission until the retry budget runs out).
+    pub dropped_messages: u64,
+    /// Bits re-transmitted after drops (charged to the fault layer, not to
+    /// [`RunMetrics::bits`]).
+    pub retransmitted_bits: u64,
+}
+
+impl FaultMetrics {
+    /// True when the run realized at least one injected fault (a crash or
+    /// a dropped message; stragglers are wall-clock-only and show up in
+    /// [`SkewMetrics`] instead).
+    pub fn any(&self) -> bool {
+        !self.crashed.is_empty() || self.dropped_messages > 0
+    }
+}
+
 /// Exact communication costs of one protocol run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -162,6 +193,17 @@ mod tests {
         let m = RunMetrics::new(2);
         let s = serde_json::to_string(&m).unwrap();
         assert!(s.contains("\"rounds\":0"));
+    }
+
+    #[test]
+    fn fault_metrics_flag_realized_faults() {
+        let mut f = FaultMetrics::default();
+        assert!(!f.any());
+        f.dropped_messages = 1;
+        f.retransmitted_bits = 64;
+        assert!(f.any());
+        let f = FaultMetrics { crashed: vec![2], ..Default::default() };
+        assert!(f.any());
     }
 
     #[test]

@@ -145,6 +145,21 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
         Some(horizon)
     }
 
+    /// A crashed mux machine salvages an output only when **every**
+    /// instance can: one unsalvageable instance and the whole machine's
+    /// batch output is unattributable, so collection must fail and the
+    /// caller retry the batch over the survivors.
+    fn on_crash(&mut self) -> Option<Self::Output> {
+        let mut outputs = Vec::with_capacity(self.slots.len());
+        for (tag, slot) in self.slots.iter_mut().enumerate() {
+            match slot {
+                None => outputs.push(self.outputs[tag].take().expect("done instance has output")),
+                Some(live) => outputs.push(live.proto.on_crash()?),
+            }
+        }
+        Some(MuxOutput { outputs, done_round: std::mem::take(&mut self.done_round) })
+    }
+
     fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged<P::Msg>>) -> Step<MuxOutput<P::Output>> {
         let m = self.slots.len();
         if ctx.round() == 0 {
@@ -188,6 +203,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                     outbox: inner_outbox,
                     rng: &mut slot.rng,
                     next_seq: &mut slot.seq,
+                    crash_rounds: ctx.crash_rounds,
                 };
                 slot.proto.on_round(&mut inner)
             };

@@ -53,6 +53,20 @@ pub trait Protocol: Send {
     fn quiet_until(&self) -> Option<u64> {
         None
     }
+
+    /// Salvage hook for fail-stop crash injection (see
+    /// [`crate::config::FaultPlan::crashes`]): called exactly once, in
+    /// place of the `on_round` the machine was scheduled to crash at.
+    /// Returning `Some(output)` lets the run complete with whatever the
+    /// machine can still account for (e.g. "my shard contributes
+    /// nothing"); the machine then behaves like a done machine — its
+    /// earlier sends keep draining, late arrivals are discarded. Returning
+    /// `None` (the default) means the run cannot produce this machine's
+    /// output, and collection fails with [`crate::EngineError::Crashed`]
+    /// so callers can retry over the survivors.
+    fn on_crash(&mut self) -> Option<Self::Output> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +93,10 @@ mod tests {
     fn quiet_hook_defaults_to_no_promise() {
         assert_eq!(Nop.quiet_until(), None);
         const _: () = assert!(!Nop::QUIET_AWARE, "default is opted out");
+    }
+
+    #[test]
+    fn crash_hook_defaults_to_unsalvageable() {
+        assert_eq!(Nop.on_crash(), None);
     }
 }

@@ -1,0 +1,314 @@
+//! Chaos suite: deterministic fault injection through the serving stack.
+//!
+//! The [`kmachine::FaultPlan`] injectors are *seeded, not sampled*: the
+//! same plan produces the same drops, the same crash observations, and
+//! the same recovery path on every engine and every pool size. That turns
+//! fault testing into the same metamorphic game the engine-conformance
+//! suite plays — a faulty run either equals its fault-free reference
+//! byte-for-byte (stragglers), or degrades along an exactly reproducible
+//! path (crashes: re-election, surviving-shard answers, `degraded`
+//! flags), or fails with a typed error (lossy links past the retry
+//! budget) — never a hang, never a silently wrong answer.
+//!
+//! One test also writes `results/chaos_metrics.json`, the artifact the CI
+//! chaos leg uploads.
+
+use kmachine::error::EngineError;
+use kmachine::{DeliveryMode, Engine, FaultPlan};
+use knn_core::cluster::{KnnCluster, Neighbor};
+use knn_core::error::CoreError;
+use knn_core::runner::{Algorithm, ElectionKind};
+use knn_points::{Dataset, ScalarPoint};
+use knn_workloads::ScalarWorkload;
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ThreadPoolBuilder::new().num_threads(threads).build().expect("pool").install(f)
+}
+
+/// A loaded cluster over the standard scalar workload: Fixed election
+/// (leader is machine 0 until a crash forces a re-election), seeded
+/// shards, the given engine/delivery/fault plan.
+fn cluster(
+    k: usize,
+    seed: u64,
+    engine: Engine,
+    delivery: DeliveryMode,
+    faults: FaultPlan,
+) -> KnnCluster {
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .engine(engine)
+        .delivery(delivery)
+        .election(ElectionKind::Fixed)
+        .faults(faults)
+        .build();
+    cluster.load_shards(shards).expect("shard count");
+    cluster
+}
+
+fn queries(seed: u64, n: u64) -> Vec<ScalarPoint> {
+    (0..n).map(|i| ScalarPoint(seed.wrapping_mul(127).wrapping_add(i * 811))).collect()
+}
+
+/// Neighbor lists reduced to what must survive a shard-count change:
+/// point ids and distances (machine ids are shard-local labels and
+/// legitimately differ between a k-cluster and its survivor sub-cluster).
+fn ids_and_dists(neighbors: &[Neighbor]) -> Vec<(knn_points::PointId, knn_points::Dist)> {
+    neighbors.iter().map(|n| (n.id, n.dist)).collect()
+}
+
+/// Stragglers are pure wall-clock: every answer, every metric, and every
+/// flag of a straggling run — on every engine, every pool size — is
+/// byte-identical to the fault-free lockstep reference. Only the clock
+/// (and, under relaxed delivery, the recorded skew) may differ.
+#[test]
+fn stragglers_change_nothing_but_wall_clock() {
+    let (seed, k, ell) = (9u64, 4usize, 8usize);
+    let qs = queries(seed, 5);
+    let want = with_pool(1, || {
+        let c = cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default());
+        c.query_batch_with(Algorithm::Knn, &qs, ell).expect("baseline")
+    });
+    assert!(!want.degraded);
+    assert!(!want.faults.any());
+    let plan = FaultPlan::default().with_straggler(1, 4).with_straggler(3, 8);
+    for engine in [Engine::Sync, Engine::Threaded, Engine::Event] {
+        for pool in [1usize, 8] {
+            let got = with_pool(pool, || {
+                let c = cluster(k, seed, engine, DeliveryMode::Exact, plan.clone());
+                c.query_batch_with(Algorithm::Knn, &qs, ell).expect("straggling batch")
+            });
+            let label = format!("{engine:?}/pool {pool}");
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                assert_eq!(g.neighbors, w.neighbors, "straggler answers diverged: {label}");
+            }
+            assert_eq!(got.metrics, want.metrics, "straggler metrics diverged: {label}");
+            assert!(!got.degraded, "a slow machine is not a failure: {label}");
+            assert_eq!(got.shards_used, k, "{label}");
+            assert!(!got.faults.any(), "stragglers realize no faults: {label}");
+        }
+    }
+}
+
+/// A crashed leader is survivable: the query layer re-elects over the
+/// survivors, re-runs fault-free, and flags the answer as degraded with
+/// the surviving shard count — for **every** algorithm. The degraded
+/// answer equals what a fault-free cluster of just the survivors says.
+#[test]
+fn leader_crash_re_elects_and_degrades_for_every_algorithm() {
+    let (seed, k, ell) = (17u64, 5usize, 7usize);
+    let q = ScalarPoint(seed.wrapping_mul(127));
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    // The fault-free reference: the surviving four shards as their own
+    // cluster (machine ids shift by one; ids and distances must match).
+    let mut survivors: KnnCluster =
+        KnnCluster::builder().machines(k - 1).seed(seed).election(ElectionKind::Fixed).build();
+    survivors.load_shards(shards[1..].to_vec()).expect("shard count");
+    for algo in Algorithm::ALL {
+        let crashed = cluster(
+            k,
+            seed,
+            Engine::Sync,
+            DeliveryMode::Exact,
+            FaultPlan::default().with_crash(0, 0),
+        );
+        let ans = crashed.query_with(algo, &q, ell).expect("crash must be survivable");
+        assert!(ans.degraded, "{algo:?}: answers over survivors must be flagged");
+        assert_eq!(ans.shards_used, k - 1, "{algo:?}");
+        assert_ne!(ans.leader, 0, "{algo:?}: the dead leader cannot coordinate");
+        assert!(
+            ans.neighbors.iter().all(|n| n.machine != 0),
+            "{algo:?}: no candidates from the crashed shard"
+        );
+        let want = survivors.query_with(algo, &q, ell).expect("survivor reference");
+        assert_eq!(
+            ids_and_dists(&ans.neighbors),
+            ids_and_dists(&want.neighbors),
+            "{algo:?}: degraded answer must equal the survivors' fault-free answer"
+        );
+    }
+}
+
+/// The batched path recovers the same way: one crashed leader, one
+/// re-election, every per-query answer flagged and correct.
+#[test]
+fn batched_queries_survive_a_leader_crash() {
+    let (seed, k, ell) = (29u64, 5usize, 6usize);
+    let qs = queries(seed, 4);
+    let crashed =
+        cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default().with_crash(0, 0));
+    let batch = crashed.query_batch_with(Algorithm::Knn, &qs, ell).expect("batch recovery");
+    assert!(batch.degraded);
+    assert_eq!(batch.shards_used, k - 1);
+    assert_ne!(batch.leader, 0);
+    let mut survivors: KnnCluster =
+        KnnCluster::builder().machines(k - 1).seed(seed).election(ElectionKind::Fixed).build();
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    survivors.load_shards(shards[1..].to_vec()).expect("shard count");
+    let want = survivors.query_batch_with(Algorithm::Knn, &qs, ell).expect("survivor batch");
+    for (got, want) in batch.answers.iter().zip(&want.answers) {
+        assert!(got.degraded, "per-query answers carry the flag");
+        assert_eq!(got.shards_used, k - 1);
+        assert_eq!(ids_and_dists(&got.neighbors), ids_and_dists(&want.neighbors));
+    }
+}
+
+/// A crashed *worker* under the Simple protocol is written off inside the
+/// run — the leader observes the crash via `Ctx::crashed`, completes with
+/// the surviving censuses, and no retry happens (the realized faults of
+/// the answering run still list the dead machine).
+#[test]
+fn worker_crash_under_simple_is_salvaged_in_run() {
+    let (seed, k, ell) = (31u64, 4usize, 6usize);
+    let q = ScalarPoint(seed.wrapping_mul(127));
+    let crashed =
+        cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default().with_crash(2, 0));
+    let ans = crashed.query_with(Algorithm::Simple, &q, ell).expect("salvage");
+    assert!(ans.degraded);
+    assert_eq!(ans.shards_used, k - 1);
+    assert_eq!(ans.leader, 0, "the leader survived; no re-election");
+    assert_eq!(ans.faults.crashed, vec![2], "the write-off happened inside the run");
+    assert!(ans.neighbors.iter().all(|n| n.machine != 2));
+}
+
+/// A link whose loss outlives the retry budget is a **typed error**, not
+/// a hang and not a panic: total loss with a two-shot budget surfaces
+/// `EngineError::LinkDown` through the serving layer.
+#[test]
+fn exhausted_retries_surface_a_typed_link_down() {
+    let (seed, k, ell) = (41u64, 3usize, 5usize);
+    let q = ScalarPoint(seed.wrapping_mul(127));
+    let lossy = cluster(
+        k,
+        seed,
+        Engine::Sync,
+        DeliveryMode::Exact,
+        FaultPlan::default().with_loss(1000, 2).with_fault_seed(7),
+    );
+    match lossy.query_with(Algorithm::Knn, &q, ell) {
+        Err(CoreError::Engine(EngineError::LinkDown { retries, .. })) => {
+            assert_eq!(retries, 2, "the error reports the exhausted budget");
+        }
+        other => panic!("total loss must be a typed LinkDown, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Determinism under fire: the same seed and the same fault plan —
+    /// survivable loss, a straggler, a mid-run worker crash — produce
+    /// byte-identical answers, metrics, **and realized faults** (drop and
+    /// retransmission counts included) on every engine and pool size.
+    #[test]
+    fn prop_faulty_runs_are_engine_invariant(
+        seed in 0u64..500,
+        loss in 0u16..150,
+        fault_seed in 0u64..1000,
+    ) {
+        let (k, ell) = (4usize, 6usize);
+        let qs = queries(seed, 3);
+        let plan = FaultPlan::default()
+            .with_loss(loss, 64)
+            .with_straggler(1, 2)
+            .with_fault_seed(fault_seed);
+        let want = with_pool(1, || {
+            let c = cluster(k, seed, Engine::Sync, DeliveryMode::Exact, plan.clone());
+            c.query_batch_with(Algorithm::Knn, &qs, ell).expect("sync chaos run")
+        });
+        for engine in [Engine::Threaded, Engine::Event] {
+            for pool in [2usize, 8] {
+                let got = with_pool(pool, || {
+                    let c = cluster(k, seed, engine, DeliveryMode::Exact, plan.clone());
+                    c.query_batch_with(Algorithm::Knn, &qs, ell).expect("chaos run")
+                });
+                for (g, w) in got.answers.iter().zip(&want.answers) {
+                    prop_assert_eq!(&g.neighbors, &w.neighbors, "{:?}/pool {}", engine, pool);
+                }
+                prop_assert_eq!(&got.metrics, &want.metrics, "{:?}/pool {}", engine, pool);
+                prop_assert_eq!(&got.faults, &want.faults,
+                    "realized faults must be engine-invariant: {:?}/pool {}", engine, pool);
+                prop_assert_eq!(got.degraded, want.degraded);
+                prop_assert_eq!(got.shards_used, want.shards_used);
+            }
+        }
+    }
+
+    /// Crash recovery is deterministic too: the same crash plan takes the
+    /// same re-election path and yields the same degraded answers on
+    /// every engine.
+    #[test]
+    fn prop_crash_recovery_is_engine_invariant(
+        seed in 0u64..500,
+        victim in 0usize..4,
+    ) {
+        let (k, ell) = (4usize, 6usize);
+        let qs = queries(seed, 2);
+        let plan = FaultPlan::default().with_crash(victim, 0);
+        let want = with_pool(1, || {
+            let c = cluster(k, seed, Engine::Sync, DeliveryMode::Exact, plan.clone());
+            c.query_batch_with(Algorithm::Knn, &qs, ell).expect("sync crash run")
+        });
+        prop_assert!(want.degraded);
+        prop_assert_eq!(want.shards_used, k - 1);
+        for engine in [Engine::Threaded, Engine::Event] {
+            let got = with_pool(8, || {
+                let c = cluster(k, seed, engine, DeliveryMode::Exact, plan.clone());
+                c.query_batch_with(Algorithm::Knn, &qs, ell).expect("crash run")
+            });
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                prop_assert_eq!(&g.neighbors, &w.neighbors, "{:?}", engine);
+            }
+            prop_assert_eq!(&got.metrics, &want.metrics, "{:?}", engine);
+            prop_assert_eq!(got.leader, want.leader, "same re-election path: {:?}", engine);
+            prop_assert_eq!(got.degraded, want.degraded);
+            prop_assert_eq!(got.shards_used, want.shards_used);
+        }
+    }
+}
+
+/// An empty shard is not a fault: the cluster loads it, the protocols
+/// handle it (the BinSearch census writes it off as permanently quiet),
+/// and answers come back undegraded.
+#[test]
+fn empty_shards_are_healthy_not_degraded() {
+    let (seed, k, ell) = (53u64, 4usize, 5usize);
+    let mut shards = ScalarWorkload::small(512).generate(k, seed);
+    shards[2] = Dataset::new(Vec::new());
+    let mut c: KnnCluster =
+        KnnCluster::builder().machines(k).seed(seed).election(ElectionKind::Fixed).build();
+    c.load_shards(shards).expect("shard count");
+    for algo in Algorithm::ALL {
+        let ans = c.query_with(algo, &ScalarPoint(1234), ell).expect("empty shard");
+        assert!(!ans.degraded, "{algo:?}: empty is healthy");
+        assert_eq!(ans.shards_used, k, "{algo:?}");
+        assert_eq!(ans.neighbors.len(), ell, "{algo:?}: the other shards fill the answer");
+    }
+}
+
+/// A representative chaos run — survivable loss plus a straggler plus a
+/// crashed worker, relaxed delivery on the event engine — written to
+/// `results/chaos_metrics.json` for the CI chaos leg's artifact upload.
+#[test]
+fn chaos_metrics_artifact() {
+    let (seed, k, ell) = (61u64, 5usize, 6usize);
+    let qs = queries(seed, 4);
+    let plan = FaultPlan::default()
+        .with_loss(50, 16)
+        .with_straggler(1, 4)
+        .with_crash(0, 0)
+        .with_fault_seed(11);
+    let batch = with_pool(4, || {
+        let c = cluster(k, seed, Engine::Event, DeliveryMode::Relaxed, plan);
+        c.query_batch_with(Algorithm::Knn, &qs, ell).expect("chaos batch")
+    });
+    assert!(batch.degraded, "the crashed shard degrades the batch");
+    assert_eq!(batch.shards_used, k - 1);
+    std::fs::create_dir_all("results").expect("results dir");
+    let json = serde_json::to_string_pretty(&batch).expect("serialize");
+    std::fs::write("results/chaos_metrics.json", json).expect("write artifact");
+}

@@ -13,10 +13,10 @@
 use std::time::Duration;
 
 use kmachine::engine::{run_event, run_sync};
-use kmachine::{Ctx, DeliveryMode, Engine, NetConfig, Protocol, RunMetrics, Step};
+use kmachine::{Ctx, DeliveryMode, Engine, FaultPlan, NetConfig, Protocol, RunMetrics, Step};
 use knn_core::cluster::{KnnCluster, Neighbor};
 use knn_core::runner::{Algorithm, ElectionKind};
-use knn_points::ScalarPoint;
+use knn_points::{Dataset, ScalarPoint};
 use knn_workloads::ScalarWorkload;
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -245,4 +245,123 @@ fn batch_answer_surfaces_skew_evidence() {
         assert!(!exact.skew.tracked(), "exact batches report none");
     }
     assert_eq!(relaxed.metrics, exact.metrics, "the bill is identical either way");
+}
+
+/// True when neither the engine nor the delivery environment override is
+/// set — the Auto downgrade policy under test only runs in a clean
+/// environment (any forced engine or mode rewrites the policy itself).
+fn env_clean() -> bool {
+    std::env::var(kmachine::ENGINE_ENV).map_or(true, |v| v.trim().is_empty())
+        && std::env::var(kmachine::DELIVERY_ENV).map_or(true, |v| v.trim().is_empty())
+}
+
+/// Regression for the silent relaxed→exact downgrade: `Engine::Auto` used
+/// to discard a requested `DeliveryMode::Relaxed` for *every* protocol,
+/// because none declared quiet phases (`QUIET_AWARE`). The serving
+/// algorithms now opt in, so an Auto cluster asked for relaxed delivery
+/// must actually pipeline — tracked `SkewMetrics` on the batch — while
+/// still reproducing the lockstep answers and accounting byte-for-byte.
+/// `SaukasSong` deliberately stays opted out (its phases are never quiet
+/// long enough to pay for promise bookkeeping), and the downgrade must
+/// keep applying there.
+#[test]
+fn auto_engine_keeps_relaxed_delivery_for_quiet_aware_algorithms() {
+    let (seed, k, ell) = (23, 4, 8);
+    for algo in Algorithm::ALL {
+        let want = with_pool(1, || {
+            serve(Engine::Sync, DeliveryMode::Exact, ElectionKind::Fixed, algo, seed, k, ell)
+        });
+        // k × default per-link budget meets Auto's work threshold, and the
+        // 8-thread pool clears its parallelism bar, so Auto resolves to the
+        // event engine here — the only engine where the downgrade matters.
+        let (got, skew) = with_pool(8, || {
+            let shards = ScalarWorkload::small(512).generate(k, seed);
+            let mut cluster: KnnCluster = KnnCluster::builder()
+                .machines(k)
+                .seed(seed)
+                .engine(Engine::Auto)
+                .delivery(DeliveryMode::Relaxed)
+                .election(ElectionKind::Fixed)
+                .build();
+            cluster.load_shards(shards).expect("shard count");
+            let queries: Vec<ScalarPoint> = (0..6u64)
+                .map(|i| ScalarPoint(seed.wrapping_mul(127).wrapping_add(i * 811)))
+                .collect();
+            let batch = cluster.query_batch_with(algo, &queries, ell).expect("batch");
+            let answers: Vec<Vec<Neighbor>> =
+                batch.answers.iter().map(|a| a.neighbors.clone()).collect();
+            ((answers, batch.metrics), batch.skew)
+        });
+        assert_eq!(got.0, want.0, "auto/relaxed answers diverged: {algo:?}");
+        assert_eq!(got.1, want.2, "auto/relaxed aggregate metrics: {algo:?}");
+        if env_clean() {
+            let quiet_aware = !matches!(algo, Algorithm::SaukasSong);
+            assert_eq!(
+                skew.tracked(),
+                quiet_aware,
+                "{algo:?}: Auto + Relaxed must {} (QUIET_AWARE = {quiet_aware})",
+                if quiet_aware { "pipeline, not silently downgrade to exact" } else { "downgrade" },
+            );
+        }
+    }
+}
+
+/// Fault-plan stragglers through a real algorithm: `BinSearch` with an
+/// empty shard on the slow machine. The empty worker reports its census
+/// once and then goes quiet forever, so under relaxed delivery the leader
+/// and the working shards pipeline multiple rounds past it — recorded max
+/// skew **exceeds one round** for a non-trivial serving algorithm, while
+/// every answer and every metric stays byte-identical to the fault-free
+/// lockstep run (stragglers are pure wall-clock, never observable state).
+#[test]
+fn binsearch_straggler_records_multi_round_skew() {
+    let (seed, k, ell) = (5u64, 4usize, 6usize);
+    let mut shards = ScalarWorkload::small(512).generate(k, seed);
+    shards[3] = Dataset::new(Vec::new());
+    let queries: Vec<ScalarPoint> =
+        (0..6u64).map(|i| ScalarPoint(seed.wrapping_mul(127).wrapping_add(i * 811))).collect();
+
+    let mut baseline: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .engine(Engine::Sync)
+        .election(ElectionKind::Fixed)
+        .build();
+    baseline.load_shards(shards.clone()).expect("shard count");
+    let want = baseline.query_batch_with(Algorithm::BinSearch, &queries, ell).expect("baseline");
+
+    let mut straggling: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .engine(Engine::Event)
+        .delivery(DeliveryMode::Relaxed)
+        .election(ElectionKind::Fixed)
+        .faults(FaultPlan::default().with_straggler(3, 16))
+        .build();
+    straggling.load_shards(shards).expect("shard count");
+    let got =
+        with_pool(4, || straggling.query_batch_with(Algorithm::BinSearch, &queries, ell)).unwrap();
+
+    let want_answers: Vec<&Vec<Neighbor>> = want.answers.iter().map(|a| &a.neighbors).collect();
+    let got_answers: Vec<&Vec<Neighbor>> = got.answers.iter().map(|a| &a.neighbors).collect();
+    assert_eq!(got_answers, want_answers, "straggler runs must be byte-identical");
+    assert_eq!(got.metrics, want.metrics, "stragglers never change the bill");
+    assert!(!got.degraded, "a slow machine is not a failed machine");
+    assert_eq!(got.shards_used, k);
+    assert!(!got.faults.any(), "stragglers are wall-clock only, not realized faults");
+    let engine_forced_off = std::env::var(kmachine::ENGINE_ENV)
+        .is_ok_and(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "sync" | "threaded"));
+    let delivery_forced_exact =
+        std::env::var(kmachine::DELIVERY_ENV).is_ok_and(|v| v.trim().eq_ignore_ascii_case("exact"));
+    if !engine_forced_off && !delivery_forced_exact {
+        assert!(
+            got.skew.max_skew > 1,
+            "the working shards must pipeline past the straggler: max skew {}",
+            got.skew.max_skew
+        );
+        println!(
+            "binsearch straggler run: max skew {} (window 4), {} promised rounds",
+            got.skew.max_skew, got.skew.promised_rounds
+        );
+    }
 }
