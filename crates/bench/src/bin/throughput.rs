@@ -27,10 +27,18 @@
 //! as qps on the same simulated workload — rounds/q, msgs/q, and kbits/q
 //! are engine-invariant by the determinism contract.
 //!
+//! Fault and skew accounting ride every row: `--loss` (per-mille message
+//! loss, seeded and engine-invariant) realizes drops and retransmissions
+//! that show up in the `dropped`/`rexmit_kbits` columns, and
+//! `--delivery relaxed` on the event engine records the pipelining
+//! evidence (`max_skew`, `promised_rounds`). Fault-free exact rows carry
+//! zeros — the columns are always present so CI diffs line up.
+//!
 //! ```text
 //! cargo run -p knn-bench --release --bin throughput
 //!     [--k 8] [--per-machine 4096] [--ell 64] [--queries 64]
-//!     [--batches 1,8,64] [--engines sync] [--seed 7]
+//!     [--batches 1,8,64] [--engines sync] [--delivery exact]
+//!     [--loss 0] [--loss-retries 64] [--seed 7]
 //! ```
 //!
 //! Writes `results/throughput.{csv,json}` so CI accumulates the perf
@@ -38,7 +46,7 @@
 
 use std::time::Instant;
 
-use kmachine::Engine;
+use kmachine::{DeliveryMode, Engine, FaultPlan};
 use knn_bench::args::Args;
 use knn_bench::table::Table;
 use knn_bench::{write_csv, write_json};
@@ -57,6 +65,14 @@ struct Row {
     messages_per_query: f64,
     kilobits_per_query: f64,
     elections: u64,
+    /// Realized faults across the sweep's runs (engine-invariant).
+    crashes: u64,
+    dropped_messages: u64,
+    retransmitted_kilobits: f64,
+    /// Pipelining evidence across the sweep's runs (relaxed event runs
+    /// only; zero elsewhere).
+    max_skew: u64,
+    promised_rounds: u64,
 }
 
 fn main() {
@@ -71,12 +87,27 @@ fn main() {
         .split(',')
         .map(|s| s.parse().unwrap_or_else(|e| panic!("--engines: {e}")))
         .collect();
+    let delivery: DeliveryMode = args
+        .get_str("delivery", "exact")
+        .parse()
+        .unwrap_or_else(|e: String| panic!("--delivery: {e}"));
+    let loss = args.get_u64("loss", 0);
+    let loss_retries = args.get_u64("loss-retries", 64) as u32;
     let seed = args.get_u64("seed", 7);
     let hi = 1u64 << 32;
 
+    let mut faults = FaultPlan::default();
+    if loss > 0 {
+        faults = faults.with_loss(loss as u16, loss_retries);
+    }
     let shards = ScalarWorkload { per_machine, lo: 0, hi }.generate(k, seed);
-    let mut cluster: KnnCluster =
-        KnnCluster::builder().machines(k).seed(seed).election(ElectionKind::Star).build();
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .election(ElectionKind::Star)
+        .delivery(delivery)
+        .faults(faults)
+        .build();
     cluster.load_shards(shards).expect("shard count matches k");
 
     println!(
@@ -92,6 +123,8 @@ fn main() {
         "msgs/q",
         "kbits/q",
         "elections",
+        "dropped",
+        "skew",
     ]);
     let mut rows: Vec<Row> = Vec::new();
 
@@ -103,6 +136,11 @@ fn main() {
                 let mut messages = 0u64;
                 let mut bits = 0u64;
                 let mut elections = 0u64;
+                let mut crashes = 0u64;
+                let mut dropped = 0u64;
+                let mut rexmit_bits = 0u64;
+                let mut max_skew = 0u64;
+                let mut promised = 0u64;
                 let start = Instant::now();
                 if bs <= 1 {
                     // Sequential baseline: every query pays its own
@@ -112,6 +150,9 @@ fn main() {
                         rounds += ans.metrics.rounds;
                         messages += ans.metrics.messages;
                         bits += ans.metrics.bits;
+                        crashes += ans.faults.crashed.len() as u64;
+                        dropped += ans.faults.dropped_messages;
+                        rexmit_bits += ans.faults.retransmitted_bits;
                         if let Some(em) = &ans.election_metrics {
                             elections += 1;
                             rounds += em.rounds;
@@ -125,6 +166,11 @@ fn main() {
                         rounds += out.metrics.rounds;
                         messages += out.metrics.messages;
                         bits += out.metrics.bits;
+                        crashes += out.faults.crashed.len() as u64;
+                        dropped += out.faults.dropped_messages;
+                        rexmit_bits += out.faults.retransmitted_bits;
+                        max_skew = max_skew.max(out.skew.max_skew);
+                        promised += out.skew.promised_rounds;
                         if let Some(em) = &out.election_metrics {
                             elections += 1;
                             rounds += em.rounds;
@@ -144,6 +190,11 @@ fn main() {
                     messages_per_query: messages as f64 / total as f64,
                     kilobits_per_query: bits as f64 / 1000.0 / total as f64,
                     elections,
+                    crashes,
+                    dropped_messages: dropped,
+                    retransmitted_kilobits: rexmit_bits as f64 / 1000.0,
+                    max_skew,
+                    promised_rounds: promised,
                 };
                 table.row(vec![
                     row.engine.clone(),
@@ -154,6 +205,8 @@ fn main() {
                     format!("{:.1}", row.messages_per_query),
                     format!("{:.2}", row.kilobits_per_query),
                     row.elections.to_string(),
+                    row.dropped_messages.to_string(),
+                    row.max_skew.to_string(),
                 ]);
                 rows.push(row);
             }
@@ -162,7 +215,10 @@ fn main() {
     table.print();
 
     // Simulated costs are engine-invariant: every engine must report the
-    // same rounds/messages/bits per (algorithm, batch) cell.
+    // same rounds/messages/bits — and the same realized faults — per
+    // (algorithm, batch) cell. (Skew is deliberately excluded: it is the
+    // one column that legitimately differs, recording relaxed-event
+    // pipelining the lockstep engines cannot express.)
     if engines.len() > 1 {
         for r in &rows {
             let reference = rows
@@ -170,11 +226,19 @@ fn main() {
                 .find(|o| o.algorithm == r.algorithm && o.batch_size == r.batch_size)
                 .expect("first engine's row exists");
             assert_eq!(
-                (r.rounds_per_query, r.messages_per_query, r.kilobits_per_query),
+                (
+                    r.rounds_per_query,
+                    r.messages_per_query,
+                    r.kilobits_per_query,
+                    r.dropped_messages,
+                    r.retransmitted_kilobits,
+                ),
                 (
                     reference.rounds_per_query,
                     reference.messages_per_query,
-                    reference.kilobits_per_query
+                    reference.kilobits_per_query,
+                    reference.dropped_messages,
+                    reference.retransmitted_kilobits,
                 ),
                 "engine {} diverged from {} on {} batch {}",
                 r.engine,
@@ -221,6 +285,11 @@ fn main() {
                 format!("{:.2}", r.messages_per_query),
                 format!("{:.3}", r.kilobits_per_query),
                 r.elections.to_string(),
+                r.crashes.to_string(),
+                r.dropped_messages.to_string(),
+                format!("{:.3}", r.retransmitted_kilobits),
+                r.max_skew.to_string(),
+                r.promised_rounds.to_string(),
             ]
         })
         .collect();
@@ -236,6 +305,11 @@ fn main() {
             "messages_per_query",
             "kilobits_per_query",
             "elections",
+            "crashes",
+            "dropped_messages",
+            "retransmitted_kilobits",
+            "max_skew",
+            "promised_rounds",
         ],
         &csv_rows,
     );

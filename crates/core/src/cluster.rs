@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use kmachine::{
-    BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan, MachineId, RunMetrics,
-    SkewMetrics,
+    BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan, MachineId, RecoveryPlan,
+    RunMetrics, SkewMetrics,
 };
 use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
 use knn_workloads::PartitionStrategy;
@@ -15,7 +15,7 @@ use crate::error::CoreError;
 use crate::local::IndexedPoint;
 use crate::protocols::knn::{KnnParams, KnnStats};
 use crate::runner::{
-    merge_answers, run_approx_query, run_query, Algorithm, ElectionKind, QueryOptions,
+    merge_answers, run_approx_query, run_query, Algorithm, ElectionKind, QueryOptions, RetryPolicy,
 };
 use crate::session::{BatchOutcome, QuerySession};
 
@@ -59,6 +59,13 @@ pub struct KnnAnswer {
     /// Realized faults of the answering run (batch runs report theirs once,
     /// on [`BatchAnswer::faults`]; per-query copies stay empty).
     pub faults: FaultMetrics,
+    /// True when answering required recovery work — a fault-aware retry
+    /// over the survivors, or an in-run checkpoint-restore rejoin.
+    pub recovered: bool,
+    /// Engine runs it took to answer (1 on the fault-free fast path).
+    pub attempts: u32,
+    /// Rounds replayed from checkpoints by rejoining machines.
+    pub replayed_rounds: u64,
 }
 
 /// Result of a batched query run: per-query answers plus the aggregate cost
@@ -94,8 +101,15 @@ pub struct BatchAnswer {
     pub degraded: bool,
     /// Shards whose candidates actually reached the selection.
     pub shards_used: usize,
-    /// Realized faults of the batch's single engine run.
+    /// Realized faults of the batch's engine run(s).
     pub faults: FaultMetrics,
+    /// True when serving the batch required recovery work — lost queries
+    /// re-planned onto the survivors, or a checkpoint-restore rejoin.
+    pub recovered: bool,
+    /// Engine runs it took to serve the batch (1 on the fast path).
+    pub attempts: u32,
+    /// Rounds replayed from checkpoints by rejoining machines.
+    pub replayed_rounds: u64,
 }
 
 /// Builder for [`KnnCluster`].
@@ -202,6 +216,26 @@ impl ClusterBuilder {
     /// [`kmachine::EngineError::LinkDown`].
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.opts.faults = faults;
+        self
+    }
+
+    /// Crash-recovery plan: checkpoint cadence, retention window, and
+    /// scheduled machine rejoins (see [`RecoveryPlan`]). A rejoining
+    /// machine is restored from its last protocol checkpoint, replays the
+    /// retained rounds, and serves again — answers stay byte-identical to
+    /// the fault-free run and the work is reported on
+    /// [`KnnAnswer::recovered`] / [`KnnAnswer::replayed_rounds`].
+    pub fn recovery(mut self, recovery: RecoveryPlan) -> Self {
+        self.opts.recovery = recovery;
+        self
+    }
+
+    /// Deadline-bounded retry policy for fault-aware re-runs: attempt and
+    /// simulated-round budgets plus deterministic exponential backoff (see
+    /// [`RetryPolicy`]). Exhausting the budget surfaces as the typed error
+    /// [`CoreError::DeadlineExceeded`].
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
         self
     }
 
@@ -344,6 +378,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             degraded: shards_used < self.k,
             shards_used,
             faults: out.faults,
+            recovered: out.recovery.any(),
+            attempts: 1,
+            replayed_rounds: out.recovery.replayed_rounds,
         })
     }
 
@@ -369,6 +406,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             degraded: out.degraded,
             shards_used: out.shards_used,
             faults: out.faults,
+            recovered: out.recovered,
+            attempts: out.attempts,
+            replayed_rounds: out.replayed_rounds,
         })
     }
 
@@ -438,6 +478,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
                     degraded: out.degraded,
                     shards_used: out.shards_used,
                     faults: FaultMetrics::default(),
+                    recovered: q.recovered,
+                    attempts: q.attempts,
+                    replayed_rounds: 0,
                 }
             })
             .collect();
@@ -451,6 +494,9 @@ impl<P: IndexedPoint> KnnCluster<P> {
             degraded: out.degraded,
             shards_used: out.shards_used,
             faults: out.faults,
+            recovered: out.recovered,
+            attempts: out.attempts,
+            replayed_rounds: out.replayed_rounds,
         }
     }
 
@@ -591,6 +637,60 @@ mod tests {
         assert!(!healthy.degraded);
         assert_eq!(healthy.shards_used, 4);
         assert!(!healthy.faults.any());
+    }
+
+    #[test]
+    fn rejoined_cluster_is_not_degraded() {
+        let build = |recovery: RecoveryPlan| {
+            let mut cluster: KnnCluster<ScalarPoint> = KnnCluster::builder()
+                .machines(4)
+                .seed(3)
+                .bandwidth_bits(256)
+                .recovery(recovery)
+                .build();
+            let mut ids = IdAssigner::new(0);
+            let data =
+                Dataset::from_points((0..120u64).map(|i| ScalarPoint(i * 10)).collect(), &mut ids);
+            cluster.load(data, PartitionStrategy::Shuffled);
+            cluster
+        };
+        let clean = build(RecoveryPlan::default());
+        let healing = build(RecoveryPlan::default().with_rejoin(2, 1, 3));
+        let queries: Vec<ScalarPoint> = (0..4).map(|i| ScalarPoint(i * 301)).collect();
+        let want = clean.query_batch_with(Algorithm::Simple, &queries, 5).unwrap();
+        let got = healing.query_batch_with(Algorithm::Simple, &queries, 5).unwrap();
+        // The rejoined machine serves again: answers and aggregate costs are
+        // byte-identical to the fault-free batch, and nothing is degraded.
+        assert!(!got.degraded);
+        assert_eq!(got.shards_used, 4);
+        assert!(got.recovered);
+        assert_eq!(got.attempts, 1);
+        assert!(got.replayed_rounds >= 1);
+        assert_eq!(got.metrics, want.metrics);
+        for (a, b) in got.answers.iter().zip(&want.answers) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+        assert!(!want.recovered);
+        assert_eq!(want.replayed_rounds, 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let mut cluster: KnnCluster<ScalarPoint> = KnnCluster::builder()
+            .machines(4)
+            .seed(3)
+            .faults(FaultPlan::default().with_crash(1, 0))
+            .retry(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() })
+            .build();
+        let mut ids = IdAssigner::new(0);
+        let data =
+            Dataset::from_points((0..120u64).map(|i| ScalarPoint(i * 10)).collect(), &mut ids);
+        cluster.load(data, PartitionStrategy::Shuffled);
+        let err = cluster.query_with(Algorithm::Knn, &ScalarPoint(501), 5).unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { attempts: 1, .. }),
+            "want DeadlineExceeded, got {err:?}"
+        );
     }
 
     #[test]

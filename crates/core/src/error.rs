@@ -20,6 +20,19 @@ pub enum CoreError {
     },
     /// A query was issued before any data was loaded.
     NotLoaded,
+    /// Fault-aware retries ran out of budget: the
+    /// [`RetryPolicy`](crate::runner::RetryPolicy) exhausted its attempt
+    /// count or its simulated-round deadline before a run succeeded.
+    DeadlineExceeded {
+        /// Engine runs attempted (the first included).
+        attempts: u32,
+        /// Simulated rounds consumed by failed runs and backoff waits.
+        spent_rounds: u64,
+        /// The policy's attempt ceiling.
+        max_attempts: u32,
+        /// The policy's round budget.
+        deadline_rounds: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +44,18 @@ impl fmt::Display for CoreError {
                 write!(f, "expected {expected} shards, got {got}")
             }
             CoreError::NotLoaded => write!(f, "no data loaded into the cluster"),
+            CoreError::DeadlineExceeded {
+                attempts,
+                spent_rounds,
+                max_attempts,
+                deadline_rounds,
+            } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts / {spent_rounds} simulated \
+                     rounds (policy: {max_attempts} attempts, {deadline_rounds} rounds)"
+                )
+            }
         }
     }
 }
@@ -61,5 +86,19 @@ mod tests {
         assert!(CoreError::EmptyCluster.to_string().contains("no machines"));
         assert!(CoreError::ShardCount { expected: 4, got: 2 }.to_string().contains("4"));
         assert!(CoreError::NotLoaded.to_string().contains("loaded"));
+    }
+
+    #[test]
+    fn deadline_exceeded_reports_budget_and_spend() {
+        let e = CoreError::DeadlineExceeded {
+            attempts: 3,
+            spent_rounds: 42,
+            max_attempts: 3,
+            deadline_rounds: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 attempts"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("40 rounds"), "{s}");
     }
 }

@@ -199,6 +199,22 @@ impl Protocol for KdBuildProtocol {
         matches!(self.phase, BuildPhase::Exchange).then_some(u64::MAX)
     }
 
+    /// A build machine that already ran its exchange burst can salvage: all
+    /// its outgoing points are on the wire (in-flight sends still deliver
+    /// after a fail-stop), so the survivors' bins stay complete, and the
+    /// salvaged output is the tree over whatever this bin had received by
+    /// the crash. Points still in flight *to* the crashed bin are lost with
+    /// it — fail-stop recovery accepts that loss, and callers see the crash
+    /// in [`kmachine::FaultMetrics::crashed`]. Before the exchange the
+    /// machine still holds undistributed points, so nothing is salvageable.
+    fn on_crash(&mut self) -> Option<BuiltShard> {
+        matches!(self.phase, BuildPhase::Exchange).then(|| {
+            let mut points = std::mem::take(&mut self.received);
+            points.sort_by_key(|(id, _)| *id);
+            BuiltShard { tree: KdTree::build(points), splits: self.splits.clone() }
+        })
+    }
+
     fn on_round(&mut self, ctx: &mut Ctx<'_, KdMsg>) -> Step<BuiltShard> {
         if matches!(self.phase, BuildPhase::Init) {
             let samples = self.my_samples(ctx);
@@ -435,6 +451,74 @@ mod tests {
         let (_, m_small) = build_forest(small.chunks(25).map(|c| c.to_vec()).collect(), 4);
         let (_, m_large) = build_forest(large.chunks(250).map(|c| c.to_vec()).collect(), 5);
         assert!(m_large.bits > 5 * m_small.bits, "{} vs {}", m_large.bits, m_small.bits);
+    }
+
+    #[test]
+    fn post_exchange_crash_salvages_survivor_bins() {
+        // Worker 2 crashes after its exchange burst: its outgoing batches
+        // are already on the wire and still deliver, so every survivor's
+        // bin stays complete; only points routed *to* bin 2 can be lost.
+        let records = random_records(120, 2, 8);
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(40).map(|c| c.to_vec()).collect();
+        // Unlimited bandwidth keeps the phase schedule tight: workers
+        // receive the splits in round 2 and exchange in the same round, so
+        // by round 3 worker 2 has shipped everything.
+        let clean = {
+            let protos: Vec<KdBuildProtocol> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, local)| KdBuildProtocol::new(i, 3, 0, 32, 4, local.clone()))
+                .collect();
+            run_sync(
+                &NetConfig::new(3).with_seed(8).with_bandwidth(kmachine::BandwidthMode::Unlimited),
+                protos,
+            )
+            .unwrap()
+        };
+        let cfg = NetConfig::new(3)
+            .with_seed(8)
+            .with_bandwidth(kmachine::BandwidthMode::Unlimited)
+            .with_faults(kmachine::FaultPlan::default().with_crash(2, 3));
+        let protos: Vec<KdBuildProtocol> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, local)| KdBuildProtocol::new(i, 3, 0, 32, 4, local.clone()))
+            .collect();
+        let out = run_sync(&cfg, protos).expect("post-exchange crash is salvaged in-run");
+        assert_eq!(out.faults.crashed, vec![2]);
+        for survivor in [0, 1] {
+            assert_eq!(
+                out.outputs[survivor].tree.len(),
+                clean.outputs[survivor].tree.len(),
+                "survivor {survivor}'s bin must be complete"
+            );
+        }
+        let total: usize = out.outputs.iter().map(|b| b.tree.len()).sum();
+        assert!(total <= 120, "salvage never invents points");
+    }
+
+    #[test]
+    fn pre_exchange_crash_is_unsalvageable() {
+        // Dead before shipping its points: the redistribution cannot
+        // complete without them, so the run fails with the typed error.
+        let records = random_records(90, 2, 9);
+        let shards: Vec<Vec<Record<VecPoint>>> = records.chunks(30).map(|c| c.to_vec()).collect();
+        let cfg = NetConfig::new(3)
+            .with_seed(9)
+            .with_faults(kmachine::FaultPlan::default().with_crash(1, 0));
+        let protos: Vec<KdBuildProtocol> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| KdBuildProtocol::new(i, 3, 0, 32, 4, local))
+            .collect();
+        let err = match run_sync(&cfg, protos) {
+            Err(e) => e,
+            Ok(_) => panic!("pre-exchange crash must not complete"),
+        };
+        assert!(
+            matches!(err, kmachine::EngineError::Crashed { machine: 1, .. }),
+            "expected an unsalvageable crash: {err:?}"
+        );
     }
 
     #[test]

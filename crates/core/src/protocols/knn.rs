@@ -327,6 +327,17 @@ impl<'a, K: Key> Protocol for KnnProtocol<'a, K> {
     /// promises — which is where multiplexed batches pipeline.
     const QUIET_AWARE: bool = true;
 
+    /// A machine that materialized its input and holds no candidates
+    /// provably contributes no answer members, so a crash there salvages an
+    /// empty output (mirroring the BinSearch baseline). Any other crash —
+    /// candidates on board, or dead before round 0 ran — may lose answer
+    /// members or the coordinator itself: unsalvageable, and the runner
+    /// retries over the survivors.
+    fn on_crash(&mut self) -> Option<KnnOutput<K>> {
+        (self.input.is_none() && self.candidates.is_empty())
+            .then(|| KnnOutput { keys: Vec::new(), stats: None })
+    }
+
     fn on_round(&mut self, ctx: &mut Ctx<'_, KnnMsg<K>>) -> Step<KnnOutput<K>> {
         if matches!(self.phase, KPhase::Init) {
             debug_assert_eq!(ctx.round(), 0);
@@ -464,6 +475,52 @@ mod tests {
             let (got, _, _) = run_knn(shards, 64, 100 + i as u64, KnnParams::default());
             assert_eq!(got, want, "{strat:?}");
         }
+    }
+
+    #[test]
+    fn crash_salvage_only_for_materialized_empty_machines() {
+        let mut p = KnnProtocol::<u64>::from_keys(1, 3, 0, 4, KnnParams::default(), vec![]);
+        assert!(
+            p.on_crash().is_none(),
+            "dead before round 0: the input closure never ran, so the loss is unknowable"
+        );
+        p.input = None;
+        assert_eq!(
+            p.on_crash(),
+            Some(KnnOutput { keys: Vec::new(), stats: None }),
+            "materialized and empty: provably contributes nothing"
+        );
+        p.candidates = vec![3, 7];
+        assert!(p.on_crash().is_none(), "candidates on board may be answer members");
+    }
+
+    #[test]
+    fn crashed_empty_shard_is_written_off_by_retry() {
+        // An empty shard's machine crashing costs nothing: the runner-level
+        // retry (or in-run salvage) must still produce the exact answer.
+        use crate::runner::{run_query, Algorithm, QueryOptions};
+        use knn_points::{Dataset, IdAssigner, ScalarPoint};
+        let mut ids = IdAssigner::new(0);
+        let data = Dataset::from_points((0..60u64).map(ScalarPoint).collect::<Vec<_>>(), &mut ids);
+        let mut shards: Vec<Dataset<ScalarPoint>> =
+            data.records.chunks(30).map(|c| Dataset::new(c.to_vec())).collect();
+        shards.push(Dataset::new(Vec::new())); // machine 2: empty shard
+        let opts = QueryOptions {
+            faults: kmachine::FaultPlan::default().with_crash(2, 1),
+            ..Default::default()
+        };
+        let out = run_query(&shards, &ScalarPoint(10), 5, Algorithm::Knn, &opts).unwrap();
+        let want =
+            run_query(&shards, &ScalarPoint(10), 5, Algorithm::Knn, &QueryOptions::default())
+                .unwrap();
+        let keys = |o: &crate::runner::QueryOutcome| {
+            crate::runner::merge_answers(&o.local_keys)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&out), keys(&want), "losing an empty shard loses nothing");
+        assert!(out.recovered);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! `Θ(ℓ)` rounds (each link carries O(1) keys per round) and `Θ(kℓ)`
 //! messages — exponentially more rounds than Algorithm 2's `O(log ℓ)`.
 
-use kmachine::{Ctx, MachineId, Payload, Protocol, Step, ENVELOPE_HEADER_BITS};
-use knn_points::Key;
+use kmachine::{
+    Ctx, MachineId, Payload, Protocol, SnapshotReader, SnapshotWriter, Step, ENVELOPE_HEADER_BITS,
+};
+use knn_points::{Key, NumericKey};
 
 use super::knn::KeySource;
 
@@ -43,7 +45,11 @@ impl<K: Key> Payload for SimpleMsg<K> {
 }
 
 /// Per-machine instance of the simple gather baseline.
-pub struct SimpleProtocol<'a, K: Key> {
+///
+/// `K: NumericKey` (not just [`Key`]) so the protocol can serialize its
+/// state through the keys' total-order ordinals for
+/// [`Protocol::checkpoint`] / [`Protocol::restore`].
+pub struct SimpleProtocol<'a, K: NumericKey> {
     id: MachineId,
     leader: MachineId,
     ell: u64,
@@ -62,7 +68,7 @@ pub struct SimpleProtocol<'a, K: Key> {
     finished: Vec<bool>,
 }
 
-impl<'a, K: Key> SimpleProtocol<'a, K> {
+impl<'a, K: NumericKey> SimpleProtocol<'a, K> {
     /// Machine `id`, gathering everyone's local top-`ell` at `leader`.
     pub fn new(
         id: MachineId,
@@ -106,7 +112,7 @@ impl<'a, K: Key> SimpleProtocol<'a, K> {
     }
 }
 
-impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
+impl<'a, K: NumericKey> Protocol for SimpleProtocol<'a, K> {
     type Msg = SimpleMsg<K>;
     type Output = Vec<K>;
 
@@ -130,6 +136,53 @@ impl<'a, K: Key> Protocol for SimpleProtocol<'a, K> {
     /// the crash is salvageable with an empty contribution.
     fn on_crash(&mut self) -> Option<Vec<K>> {
         Some(Vec::new())
+    }
+
+    /// Serializable once round 0 has materialized the input: candidates,
+    /// the leader's gather scratch, and the per-sender finish flags, all
+    /// keys as total-order ordinals. Round 0 itself is not checkpointable —
+    /// the input closure cannot be serialized — so a pre-round-0 crash
+    /// replays from the pristine protocol instead.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        if self.input.is_some() {
+            return None;
+        }
+        let mut w = SnapshotWriter::new();
+        w.u64(self.candidates.len() as u64);
+        for k in &self.candidates {
+            w.u128(k.to_ordinal());
+        }
+        w.u64(self.gathered.len() as u64);
+        for k in &self.gathered {
+            w.u128(k.to_ordinal());
+        }
+        w.u64(self.finished.len() as u64);
+        for &f in &self.finished {
+            w.flag(f);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> bool {
+        let mut r = SnapshotReader::new(blob);
+        let read_keys = |r: &mut SnapshotReader<'_>| -> Option<Vec<K>> {
+            let n = r.u64()?;
+            (0..n).map(|_| r.u128().map(K::from_ordinal)).collect()
+        };
+        let Some(candidates) = read_keys(&mut r) else { return false };
+        let Some(gathered) = read_keys(&mut r) else { return false };
+        let Some(n) = r.u64() else { return false };
+        let Some(finished) = (0..n).map(|_| r.flag()).collect::<Option<Vec<bool>>>() else {
+            return false;
+        };
+        if !r.done() {
+            return false;
+        }
+        self.input = None;
+        self.candidates = candidates;
+        self.gathered = gathered;
+        self.finished = finished;
+        true
     }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, SimpleMsg<K>>) -> Step<Vec<K>> {
@@ -316,6 +369,50 @@ mod tests {
         merged.sort_unstable();
         // Machine 1's keys are lost; the best 4 of the survivors win.
         assert_eq!(merged, vec![10, 20, 30, 100]);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_gates_on_materialization() {
+        let mut p = SimpleProtocol::<u64>::from_keys(0, 0, 4, 2, vec![30, 10, 20]);
+        assert!(p.checkpoint().is_none(), "round-0 closures cannot be serialized");
+        p.input = None;
+        p.candidates = vec![10, 20, 30];
+        p.gathered = vec![10, 20, 30, 5];
+        p.finished = vec![true, false, true];
+        let blob = p.checkpoint().expect("materialized state is serializable");
+        let mut q = SimpleProtocol::<u64>::from_keys(0, 0, 4, 2, vec![99]);
+        assert!(q.restore(&blob));
+        assert_eq!(q.candidates, vec![10, 20, 30]);
+        assert_eq!(q.gathered, vec![10, 20, 30, 5]);
+        assert_eq!(q.finished, vec![true, false, true]);
+        assert!(q.input.is_none());
+        assert!(!q.restore(&blob[..blob.len() - 1]), "truncated blobs are rejected");
+    }
+
+    #[test]
+    fn leader_rejoin_is_byte_identical_to_fault_free() {
+        // Tight bandwidth stretches the gather over many rounds, so the
+        // leader's outage interrupts it mid-stream; the checkpointed rejoin
+        // must replay to the exact fault-free answer and costs.
+        let shards = vec![vec![10u64, 20, 30, 40], vec![1, 2, 3, 4], vec![100, 200, 300, 400]];
+        let mk = |shards: &[Vec<u64>]| {
+            shards
+                .iter()
+                .enumerate()
+                .map(|(i, l)| SimpleProtocol::from_keys(i, 0, 6, 1, l.clone()))
+                .collect::<Vec<_>>()
+        };
+        let base = NetConfig::new(3)
+            .with_seed(9)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 161 });
+        let clean = run_sync(&base, mk(&shards)).unwrap();
+        let out = run_sync(&base.clone().with_rejoin(0, 2, 4), mk(&shards)).unwrap();
+        assert_eq!(out.outputs, clean.outputs);
+        assert_eq!(out.metrics.messages, clean.metrics.messages);
+        assert_eq!(out.metrics.bits, clean.metrics.bits);
+        assert_eq!(out.recovery.rejoined, vec![0]);
+        assert!(out.recovery.checkpoints > 0);
+        assert!(out.faults.crashed.is_empty(), "a rejoin is a pause, not a fail-stop");
     }
 
     #[test]

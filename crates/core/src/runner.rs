@@ -7,7 +7,8 @@ use std::time::Duration;
 use kmachine::leader::{RandRankFlood, RandRankStar};
 use kmachine::{
     BandwidthMode, DeliveryMode, Engine, EngineError, FaultMetrics, FaultPlan, MachineId,
-    NetConfig, RunMetrics, SkewMetrics, ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
+    NetConfig, RecoveryMetrics, RecoveryPlan, RunMetrics, SkewMetrics, ENVELOPE_HEADER_BITS,
+    MUX_TAG_BITS,
 };
 use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
@@ -62,6 +63,102 @@ pub enum ElectionKind {
     Flood,
 }
 
+/// Deadline-bounded, deterministic retry discipline for fault-aware
+/// re-runs. Every budget is counted in **simulated rounds**, never wall
+/// clock, so retries stay reproducible across engines and pool sizes.
+///
+/// The default policy replicates the historical behavior: retry until the
+/// cluster is down to one machine, with no backoff and no deadline.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum engine runs per query (the first attempt included). `0` is
+    /// treated as `1`.
+    pub max_attempts: u32,
+    /// Total simulated-round budget across failed runs and backoff waits.
+    /// Exceeding it surfaces [`CoreError::DeadlineExceeded`].
+    pub deadline_rounds: u64,
+    /// Exponential backoff unit: retry `n` (1-based) waits
+    /// `backoff_base · 2^(n−1)` simulated rounds plus a deterministic
+    /// jitter in `[0, backoff_base)`. `0` disables backoff entirely.
+    pub backoff_base: u64,
+    /// Seed of the jitter stream (split from the attempt number, so two
+    /// policies with the same seed produce the same waits).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: u32::MAX,
+            deadline_rounds: u64::MAX,
+            backoff_base: 0,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Simulated rounds to wait before retry `attempt` (1-based count of
+    /// *retries*, i.e. the second engine run is `attempt == 1`).
+    pub fn backoff_rounds(&self, attempt: u32) -> u64 {
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1).min(32);
+        let base = self.backoff_base.saturating_mul(1u64 << shift);
+        base.saturating_add(splitmix64(self.jitter_seed ^ u64::from(attempt)) % self.backoff_base)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; one multiply-xor-shift chain
+/// per draw keeps jitter deterministic and seed-local.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Running tally of a retry loop: attempts made and simulated rounds spent
+/// on failed runs plus backoff waits.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryState {
+    /// Engine runs started so far (≥ 1 once the loop is entered).
+    pub attempts: u32,
+    /// Rounds burned by failed runs and backoff waits.
+    pub spent_rounds: u64,
+}
+
+impl RetryState {
+    pub(crate) fn new() -> Self {
+        RetryState { attempts: 1, spent_rounds: 0 }
+    }
+
+    /// Account a failed (or partial) run that consumed `rounds`, then
+    /// either authorize the next attempt — charging its backoff wait — or
+    /// surface [`CoreError::DeadlineExceeded`].
+    pub(crate) fn next_attempt(
+        &mut self,
+        policy: &RetryPolicy,
+        rounds: u64,
+    ) -> Result<(), CoreError> {
+        self.spent_rounds = self.spent_rounds.saturating_add(rounds);
+        let wait = policy.backoff_rounds(self.attempts);
+        self.spent_rounds = self.spent_rounds.saturating_add(wait);
+        if self.attempts >= policy.max_attempts.max(1) || self.spent_rounds > policy.deadline_rounds
+        {
+            return Err(CoreError::DeadlineExceeded {
+                attempts: self.attempts,
+                spent_rounds: self.spent_rounds,
+                max_attempts: policy.max_attempts.max(1),
+                deadline_rounds: policy.deadline_rounds,
+            });
+        }
+        self.attempts += 1;
+        Ok(())
+    }
+}
+
 /// Everything configurable about a query run.
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
@@ -99,6 +196,14 @@ pub struct QueryOptions {
     /// retries the query over the surviving shards and flags the answer
     /// [`QueryOutcome::degraded`].
     pub faults: FaultPlan,
+    /// Crash-recovery plan (checkpoint cadence plus scheduled machine
+    /// rejoins) handed to the engines with every query run. Rejoins are
+    /// invisible to the answer: the machine is restored from its last
+    /// checkpoint and replays the missed rounds in-engine. The realized
+    /// work is reported through [`QueryOutcome::replayed_rounds`].
+    pub recovery: RecoveryPlan,
+    /// Deadline-bounded retry discipline for crash re-runs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for QueryOptions {
@@ -116,6 +221,8 @@ impl Default for QueryOptions {
             round_latency: Duration::ZERO,
             max_rounds: 10_000_000,
             faults: FaultPlan::default(),
+            recovery: RecoveryPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -133,14 +240,18 @@ impl QueryOptions {
     }
 
     pub(crate) fn net_config(&self, k: usize) -> NetConfig {
-        self.fault_free_config(k).with_faults(self.faults.clone())
+        self.fault_free_config(k)
+            .with_faults(self.faults.clone())
+            .with_recovery(self.recovery.clone())
     }
 
     /// Config for a (re)run over the surviving subset `alive` (original
-    /// machine ids, ascending): the fault plan is projected onto the
-    /// survivors, so the crash that triggered the retry is gone.
+    /// machine ids, ascending): the fault and recovery plans are projected
+    /// onto the survivors, so the crash that triggered the retry is gone.
     pub(crate) fn subset_config(&self, alive: &[MachineId]) -> NetConfig {
-        self.fault_free_config(alive.len()).with_faults(self.faults.project(alive))
+        self.fault_free_config(alive.len())
+            .with_faults(self.faults.project(alive))
+            .with_recovery(self.recovery.project(alive))
     }
 
     /// Keys per batch message such that one batch fills one link-round.
@@ -196,6 +307,15 @@ pub struct QueryOutcome {
     /// progressively smaller clusters; this records the run that produced
     /// the answer.
     pub faults: FaultMetrics,
+    /// True when the answer needed recovery machinery: a crash retry, a
+    /// checkpoint-restored rejoin, or in-engine round replay.
+    pub recovered: bool,
+    /// Engine runs this query took (1 on a healthy run).
+    pub attempts: u32,
+    /// Rounds re-executed from checkpoints during rejoins (final run).
+    pub replayed_rounds: u64,
+    /// Checkpoint/rejoin accounting of the run that produced the answer.
+    pub recovery: RecoveryMetrics,
 }
 
 /// Elect a leader (when requested) and account its cost. The serving layer
@@ -245,10 +365,11 @@ pub fn run_query<P: Point>(
     }
     let (mut leader, election_metrics) = elect(k, opts)?;
     let mut alive: Vec<MachineId> = (0..k).collect();
+    let mut retry = RetryState::new();
     loop {
         let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
         match run_query_over(shards, query, ell, algorithm, opts, &alive, sub_leader) {
-            Ok((sub_keys, metrics, skew, wall, faults, stats)) => {
+            Ok((sub_keys, metrics, skew, wall, faults, recovery, stats)) => {
                 let shards_used = alive.len() - faults.crashed.len();
                 let mut local_keys = vec![Vec::new(); k];
                 for (i, keys) in sub_keys.into_iter().enumerate() {
@@ -265,9 +386,16 @@ pub fn run_query<P: Point>(
                     degraded: shards_used < k,
                     shards_used,
                     faults,
+                    recovered: retry.attempts > 1 || recovery.any(),
+                    attempts: retry.attempts,
+                    replayed_rounds: recovery.replayed_rounds,
+                    recovery,
                 });
             }
-            Err(CoreError::Engine(EngineError::Crashed { machine, .. })) if alive.len() > 1 => {
+            Err(CoreError::Engine(EngineError::Crashed { machine, round, .. }))
+                if alive.len() > 1 =>
+            {
+                retry.next_attempt(&opts.retry, round)?;
                 // `machine` indexes the failed run's subset.
                 let dead = alive.remove(machine);
                 if dead == leader {
@@ -285,8 +413,15 @@ pub fn run_query<P: Point>(
 
 /// Everything one subset run yields: per-survivor answer keys (subset
 /// order), costs, and diagnostics.
-type SubRun =
-    (Vec<Vec<DistKey>>, RunMetrics, SkewMetrics, Duration, FaultMetrics, Option<KnnStats>);
+type SubRun = (
+    Vec<Vec<DistKey>>,
+    RunMetrics,
+    SkewMetrics,
+    Duration,
+    FaultMetrics,
+    RecoveryMetrics,
+    Option<KnnStats>,
+);
 
 /// One attempt of [`run_query`] over the surviving subset `alive`; machine
 /// `i` of the run works shard `alive[i]`, and `leader` is a subset index.
@@ -323,6 +458,7 @@ fn run_query_over<P: Point>(
                 out.skew,
                 out.wall,
                 out.faults,
+                out.recovery,
                 stats,
             ))
         }
@@ -331,7 +467,7 @@ fn run_query_over<P: Point>(
             let protos: Vec<SimpleProtocol<'_, DistKey>> =
                 (0..k).map(|i| SimpleProtocol::new(i, leader, ell64, chunk, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
         }
         Algorithm::SaukasSong => {
             // Mirror the other baselines: operate on the local top-ℓ
@@ -352,13 +488,13 @@ fn run_query_over<P: Point>(
                 })
                 .collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
         }
         Algorithm::BinSearch => {
             let protos: Vec<BinSearchProtocol<'_, DistKey>> =
                 (0..k).map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, None))
+            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
         }
     }
 }
@@ -388,6 +524,9 @@ pub struct ApproxOutcome {
     /// [`EngineError::Crashed`]; use the exact path when you need crash
     /// recovery.
     pub faults: FaultMetrics,
+    /// Checkpoint/rejoin accounting of the run (rejoins under a
+    /// [`RecoveryPlan`] work on the approx path too).
+    pub recovery: RecoveryMetrics,
 }
 
 /// Run one *approximate* ℓ-NN query: Algorithm 2's sampling + pruning
@@ -427,6 +566,7 @@ pub fn run_approx_query<P: Point>(
         leader,
         election_metrics,
         faults: out.faults,
+        recovery: out.recovery,
     })
 }
 
@@ -574,6 +714,64 @@ mod tests {
             merge_answers(&out.local_keys).iter().map(|&(key, _)| key).collect::<Vec<_>>(),
             merge_answers(&want.local_keys).iter().map(|&(key, _)| key).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn retry_accounting_rides_the_outcome() {
+        let sh = shards(&(0..200u64).collect::<Vec<_>>(), 5);
+        let healthy =
+            run_query(&sh, &ScalarPoint(50), 5, Algorithm::Knn, &QueryOptions::default()).unwrap();
+        assert!(!healthy.recovered);
+        assert_eq!(healthy.attempts, 1);
+        assert_eq!(healthy.replayed_rounds, 0);
+        let opts =
+            QueryOptions { faults: FaultPlan::default().with_crash(0, 0), ..Default::default() };
+        let out = run_query(&sh, &ScalarPoint(50), 5, Algorithm::Knn, &opts).unwrap();
+        assert!(out.recovered, "a crash retry is a recovery");
+        assert_eq!(out.attempts, 2, "one failed run, one successful re-run");
+    }
+
+    #[test]
+    fn retry_deadline_surfaces_typed_error() {
+        let sh = shards(&(0..100u64).collect::<Vec<_>>(), 4);
+        let opts = QueryOptions {
+            faults: FaultPlan::default().with_crash(0, 0),
+            retry: RetryPolicy { max_attempts: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let err = run_query(&sh, &ScalarPoint(1), 4, Algorithm::Knn, &opts).unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { attempts: 1, .. }),
+            "attempt budget of 1 forbids the recovery re-run: {err:?}"
+        );
+        let opts = QueryOptions {
+            faults: FaultPlan::default().with_crash(0, 0),
+            retry: RetryPolicy { deadline_rounds: 0, backoff_base: 8, ..Default::default() },
+            ..Default::default()
+        };
+        let err = run_query(&sh, &ScalarPoint(1), 4, Algorithm::Knn, &opts).unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeadlineExceeded { spent_rounds, .. } if spent_rounds > 0),
+            "backoff waits count against the round deadline: {err:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let policy = RetryPolicy { backoff_base: 16, jitter_seed: 7, ..Default::default() };
+        let waits: Vec<u64> = (1..=4).map(|a| policy.backoff_rounds(a)).collect();
+        // Deterministic: same policy, same waits.
+        assert_eq!(waits, (1..=4).map(|a| policy.backoff_rounds(a)).collect::<Vec<_>>());
+        for (i, &w) in waits.iter().enumerate() {
+            let base = 16u64 << i;
+            assert!(
+                w >= base && w < base + 16,
+                "retry {}: {w} outside [{base}, {})",
+                i + 1,
+                base + 16
+            );
+        }
+        assert_eq!(RetryPolicy::default().backoff_rounds(3), 0, "no backoff by default");
     }
 
     #[test]

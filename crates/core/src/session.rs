@@ -35,7 +35,8 @@ use std::time::Duration;
 
 use kmachine::mux::{MuxOutput, MuxProtocol};
 use kmachine::{
-    EngineError, FaultMetrics, MachineId, Protocol, RunMetrics, SkewMetrics, TagMetrics,
+    EngineError, FaultMetrics, MachineId, Protocol, RecoveryMetrics, RunMetrics, SkewMetrics,
+    TagMetrics,
 };
 use knn_points::{Dataset, DistKey, Metric};
 
@@ -46,7 +47,7 @@ use crate::protocols::binsearch::BinSearchProtocol;
 use crate::protocols::knn::{KeySource, KnnProtocol, KnnStats};
 use crate::protocols::saukas_song::SaukasSongProtocol;
 use crate::protocols::simple::SimpleProtocol;
-use crate::runner::{elect, Algorithm, QueryOptions};
+use crate::runner::{elect, Algorithm, QueryOptions, RetryState};
 
 /// Per-query result inside a batch, before point resolution.
 #[derive(Debug, Clone)]
@@ -67,6 +68,13 @@ pub struct BatchQueryOutcome {
     /// Approx path only: whether the survivor set provably contains the
     /// exact ℓ-NN.
     pub contains_exact: Option<bool>,
+    /// Which engine run answered this query (1 = the batch's first run).
+    /// Greater than 1 marks a query that was lost to a crash and re-run on
+    /// the surviving topology.
+    pub attempts: u32,
+    /// True when this query's answer needed recovery: it was re-planned
+    /// onto survivors after a crash took its first answer with it.
+    pub recovered: bool,
 }
 
 /// Result of one batched run of m queries.
@@ -99,6 +107,17 @@ pub struct BatchOutcome {
     pub shards_used: usize,
     /// Realized faults of the (final) batch run.
     pub faults: FaultMetrics,
+    /// True when the batch needed recovery machinery: a crash retry, a
+    /// re-planned subset of lost queries, or a checkpoint-restored rejoin.
+    pub recovered: bool,
+    /// Engine runs this batch took (1 on a healthy batch). Re-planning
+    /// after a partial loss counts like a full retry.
+    pub attempts: u32,
+    /// Rounds re-executed from checkpoints during rejoins, summed over
+    /// every engine run of the batch.
+    pub replayed_rounds: u64,
+    /// Checkpoint/rejoin accounting of the final engine run.
+    pub recovery: RecoveryMetrics,
 }
 
 /// How one protocol instance is wired into a (possibly degraded) batch
@@ -116,13 +135,21 @@ struct Wiring {
 /// Extractor for protocols whose per-machine output already *is* the answer
 /// key vector (Simple, Saukas–Song, BinSearch). Extractors take the mux
 /// outputs by `&mut` so they can move the answer vectors out instead of
-/// cloning them.
+/// cloning them; they are only called for queries that completed on every
+/// machine (no crash holes), so the `Option` unwraps are guaranteed.
 fn plain_keys(
     outs: &mut [MuxOutput<Vec<DistKey>>],
     j: usize,
     _leader: MachineId,
 ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>) {
-    (outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j])).collect(), None, None, None)
+    (
+        outs.iter_mut()
+            .map(|m| m.outputs[j].take().expect("query completed on every machine"))
+            .collect(),
+        None,
+        None,
+        None,
+    )
 }
 
 /// A serving session over a loaded, indexed cluster: elects the leader once
@@ -199,9 +226,14 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                     })
                 },
                 |outs, j, leader| {
-                    let stats = outs[leader].outputs[j].stats;
-                    let keys =
-                        outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j].keys)).collect();
+                    let stats =
+                        outs[leader].outputs[j].as_ref().expect("completed on the leader").stats;
+                    let keys = outs
+                        .iter_mut()
+                        .map(|m| {
+                            m.outputs[j].take().expect("query completed on every machine").keys
+                        })
+                        .collect();
                     (keys, stats, None, None)
                 },
             ),
@@ -251,24 +283,34 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 })
             },
             |outs, j, leader| {
-                let total = outs[leader].outputs[j].total;
-                let contains = outs[leader].outputs[j].contains_exact;
-                let keys =
-                    outs.iter_mut().map(|m| std::mem::take(&mut m.outputs[j].keys)).collect();
+                let lead = outs[leader].outputs[j].as_ref().expect("completed on the leader");
+                let (total, contains) = (lead.total, lead.contains_exact);
+                let keys = outs
+                    .iter_mut()
+                    .map(|m| m.outputs[j].take().expect("query completed on every machine").keys)
+                    .collect();
                 (keys, None, Some(total), Some(contains))
             },
         )
     }
 
     /// The shared batched-run skeleton: build one `build(wiring, query)`
-    /// protocol instance per (machine, query), multiplex each machine's m
-    /// instances over one engine run, and fold the outcome per query.
+    /// protocol instance per (machine, pending query), multiplex each
+    /// machine's instances over one engine run, and fold the outcome per
+    /// query.
     ///
-    /// Crash recovery mirrors [`crate::runner::run_query`]: an
-    /// unsalvageable [`EngineError::Crashed`] excludes the dead machine,
-    /// re-elects the leader over the survivors if it was the casualty, and
-    /// re-runs the whole batch on the surviving shards under the projected
-    /// fault plan; the outcome is then flagged [`BatchOutcome::degraded`].
+    /// Crash recovery mirrors [`crate::runner::run_query`] but is
+    /// **fault-aware per query**: when a run completes with *holes* (a
+    /// crashed machine took some queries' contributions with it — its mux
+    /// output is `None` at those tags), only those lost queries are
+    /// re-planned onto the surviving topology; queries that completed keep
+    /// their full-cluster answers. An unsalvageable
+    /// [`EngineError::Crashed`] (the survivors stalled on the dead machine)
+    /// re-runs every still-pending query. Either way the dead machine is
+    /// excluded, the leader is re-elected over the survivors if it was the
+    /// casualty, and the re-run counts against the session's
+    /// [`crate::runner::RetryPolicy`]. The outcome is then flagged
+    /// [`BatchOutcome::degraded`].
     fn run_mux<'q, Proto, F, G>(
         &'q self,
         queries: &'q [P],
@@ -290,27 +332,99 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         }
         let mut alive: Vec<MachineId> = (0..k).collect();
         let mut leader = self.leader;
+        let mut retry = RetryState::new();
+        // Finished per-query outcomes by original index, filled across runs.
+        let mut done: Vec<Option<BatchQueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..queries.len()).collect();
+        let mut replayed_rounds = 0u64;
         loop {
             let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
             let cfg = self.opts.subset_config(&alive);
             let protos: Vec<MuxProtocol<Proto>> = (0..alive.len())
                 .map(|i| {
                     let w = Wiring { id: i, shard: alive[i], k: alive.len(), leader: sub_leader };
-                    MuxProtocol::new(queries.iter().map(|q| build(w, q)).collect())
+                    MuxProtocol::new(pending.iter().map(|&j| build(w, &queries[j])).collect())
                 })
                 .collect();
             match self.opts.engine.run(&cfg, protos) {
                 Ok(out) => {
-                    return Ok(self.assemble(
-                        queries.len(),
-                        &alive,
-                        leader,
-                        sub_leader,
-                        out,
-                        extract,
-                    ))
+                    let kmachine::RunOutcome { mut outputs, metrics, skew, wall, faults, recovery } =
+                        out;
+                    replayed_rounds += recovery.replayed_rounds;
+                    // A pending query is LOST when any machine's mux output
+                    // has a hole at its tag: a crashed machine died holding
+                    // that query's contribution.
+                    let lost_at = |p: usize, outs: &[MuxOutput<Proto::Output>]| {
+                        outs.iter().any(|mux| mux.outputs[p].is_none())
+                    };
+                    let lost: Vec<usize> = (0..pending.len())
+                        .filter(|&p| lost_at(p, &outputs))
+                        .map(|p| pending[p])
+                        .collect();
+                    for (p, &j) in pending.iter().enumerate() {
+                        if lost_at(p, &outputs) {
+                            continue;
+                        }
+                        let (sub_keys, stats, approx_total, contains_exact) =
+                            extract(&mut outputs, p, sub_leader);
+                        let mut local_keys = vec![Vec::new(); k];
+                        for (i, keys) in sub_keys.into_iter().enumerate() {
+                            local_keys[alive[i]] = keys;
+                        }
+                        let tag: TagMetrics = metrics.tag(p as u32);
+                        let done_round =
+                            outputs.iter().map(|mux| mux.done_round[p]).max().unwrap_or(0);
+                        done[j] = Some(BatchQueryOutcome {
+                            local_keys,
+                            messages: tag.messages,
+                            bits: tag.bits,
+                            done_round,
+                            stats,
+                            approx_total,
+                            contains_exact,
+                            attempts: retry.attempts,
+                            recovered: retry.attempts > 1,
+                        });
+                    }
+                    if lost.is_empty() {
+                        let shards_used = alive.len() - faults.crashed.len();
+                        return Ok(BatchOutcome {
+                            queries: done
+                                .into_iter()
+                                .map(|q| q.expect("every query answered"))
+                                .collect(),
+                            metrics,
+                            skew,
+                            wall,
+                            leader,
+                            election_metrics: self.election_metrics.clone(),
+                            degraded: shards_used < k,
+                            shards_used,
+                            faults,
+                            recovered: retry.attempts > 1 || recovery.any(),
+                            attempts: retry.attempts,
+                            replayed_rounds,
+                            recovery,
+                        });
+                    }
+                    retry.next_attempt(&self.opts.retry, metrics.rounds)?;
+                    let dead: Vec<MachineId> = faults.crashed.iter().map(|&c| alive[c]).collect();
+                    alive.retain(|mid| !dead.contains(mid));
+                    if alive.is_empty() || dead.is_empty() {
+                        // Holes without a usable survivor topology (or —
+                        // impossibly — without a crash): surface the crash
+                        // instead of looping on an unanswerable plan.
+                        let machine = dead.first().copied().unwrap_or(0);
+                        return Err(EngineError::Crashed { machine, round: metrics.rounds }.into());
+                    }
+                    if !alive.contains(&leader) {
+                        let (sub, _) = elect(alive.len(), &self.opts)?;
+                        leader = alive[sub];
+                    }
+                    pending = lost;
                 }
-                Err(EngineError::Crashed { machine, .. }) if alive.len() > 1 => {
+                Err(EngineError::Crashed { machine, round }) if alive.len() > 1 => {
+                    retry.next_attempt(&self.opts.retry, round)?;
                     // `machine` indexes the failed run's subset.
                     let dead = alive.remove(machine);
                     if dead == leader {
@@ -320,64 +434,6 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 }
                 Err(e) => return Err(e.into()),
             }
-        }
-    }
-
-    /// Fold one multiplexed [`kmachine::RunOutcome`] into per-query
-    /// outcomes. `extract` moves `(local_keys, stats, approx_total,
-    /// contains_exact)` for query `j` out of the per-machine mux outputs
-    /// (subset order); answers are re-embedded into the full `k` shard
-    /// slots, with empty vectors for machines outside `alive`.
-    fn assemble<T, F>(
-        &self,
-        m: usize,
-        alive: &[MachineId],
-        leader: MachineId,
-        sub_leader: MachineId,
-        out: kmachine::RunOutcome<MuxOutput<T>>,
-        extract: F,
-    ) -> BatchOutcome
-    where
-        F: Fn(
-            &mut [MuxOutput<T>],
-            usize,
-            MachineId,
-        ) -> (Vec<Vec<DistKey>>, Option<KnnStats>, Option<u64>, Option<bool>),
-    {
-        let k = self.shards.len();
-        let kmachine::RunOutcome { mut outputs, metrics, skew, wall, faults } = out;
-        let queries = (0..m)
-            .map(|j| {
-                let (sub_keys, stats, approx_total, contains_exact) =
-                    extract(&mut outputs, j, sub_leader);
-                let mut local_keys = vec![Vec::new(); k];
-                for (i, keys) in sub_keys.into_iter().enumerate() {
-                    local_keys[alive[i]] = keys;
-                }
-                let tag: TagMetrics = metrics.tag(j as u32);
-                let done_round = outputs.iter().map(|mux| mux.done_round[j]).max().unwrap_or(0);
-                BatchQueryOutcome {
-                    local_keys,
-                    messages: tag.messages,
-                    bits: tag.bits,
-                    done_round,
-                    stats,
-                    approx_total,
-                    contains_exact,
-                }
-            })
-            .collect();
-        let shards_used = alive.len() - faults.crashed.len();
-        BatchOutcome {
-            queries,
-            metrics,
-            skew,
-            wall,
-            leader,
-            election_metrics: self.election_metrics.clone(),
-            degraded: shards_used < k,
-            shards_used,
-            faults,
         }
     }
 
@@ -392,6 +448,10 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             degraded: false,
             shards_used: k,
             faults: FaultMetrics::default(),
+            recovered: false,
+            attempts: 1,
+            replayed_rounds: 0,
+            recovery: RecoveryMetrics::default(),
         }
     }
 }
@@ -539,6 +599,93 @@ mod tests {
             // Per-query answers match the sequential recovery path.
             let solo = run_query(&sh, q, 6, Algorithm::Knn, &opts).unwrap();
             assert_eq!(merge_answers(&bq.local_keys), merge_answers(&solo.local_keys), "{j}");
+        }
+    }
+
+    #[test]
+    fn batch_rejoin_is_invisible_and_reported() {
+        use kmachine::{BandwidthMode, RecoveryPlan};
+        let values: Vec<u64> = (0..400u64).map(|i| i.wrapping_mul(48271) % 50_000).collect();
+        let sh = shards(&values, 4);
+        let idx = indices(&sh);
+        let queries: Vec<ScalarPoint> = (0..4).map(|i| ScalarPoint(i * 12_000)).collect();
+        // Tight bandwidth stretches the batch over enough rounds for the
+        // outage window to land mid-run.
+        let bandwidth = BandwidthMode::Enforce { bits_per_round: 256 };
+        let clean_opts = QueryOptions { bandwidth, ..Default::default() };
+        let clean = QuerySession::new(&sh, &idx, clean_opts)
+            .unwrap()
+            .run_batch(&queries, 6, Algorithm::Simple)
+            .unwrap();
+        let opts = QueryOptions {
+            bandwidth,
+            recovery: RecoveryPlan::default().with_rejoin(1, 2, 5),
+            ..Default::default()
+        };
+        let batch = QuerySession::new(&sh, &idx, opts)
+            .unwrap()
+            .run_batch(&queries, 6, Algorithm::Simple)
+            .unwrap();
+        assert!(!batch.degraded, "a rejoined machine serves: nothing is missing");
+        assert_eq!(batch.shards_used, 4);
+        assert!(batch.faults.crashed.is_empty(), "a rejoin is a pause, not a fail-stop");
+        assert!(batch.recovered);
+        assert_eq!(batch.attempts, 1, "recovery happened in-engine, not by retry");
+        assert!(batch.replayed_rounds >= 1);
+        assert_eq!(batch.recovery.rejoined, vec![1]);
+        assert_eq!(batch.metrics.messages, clean.metrics.messages, "byte-identical traffic");
+        assert_eq!(batch.metrics.bits, clean.metrics.bits);
+        for (j, (got, want)) in batch.queries.iter().zip(&clean.queries).enumerate() {
+            assert_eq!(got.local_keys, want.local_keys, "query {j}");
+        }
+    }
+
+    #[test]
+    fn lost_queries_are_replanned_onto_survivors() {
+        use kmachine::FaultPlan;
+        let values: Vec<u64> = (0..600u64).map(|i| i.wrapping_mul(48271) % 70_000).collect();
+        let sh = shards(&values, 5);
+        let idx = indices(&sh);
+        let queries: Vec<ScalarPoint> = (0..6).map(|i| ScalarPoint(i * 11_000)).collect();
+        let full = QuerySession::new(&sh, &idx, QueryOptions::default())
+            .unwrap()
+            .run_batch(&queries, 6, Algorithm::Knn)
+            .unwrap();
+        // Survivor reference: the same batch over the shards minus machine 3.
+        let sh_sur: Vec<_> =
+            sh.iter().enumerate().filter(|&(i, _)| i != 3).map(|(_, d)| d.clone()).collect();
+        let idx_sur = indices(&sh_sur);
+        let sur = QuerySession::new(&sh_sur, &idx_sur, QueryOptions::default())
+            .unwrap()
+            .run_batch(&queries, 6, Algorithm::Knn)
+            .unwrap();
+        let answer =
+            |lk: &[Vec<DistKey>]| merge_answers(lk).iter().map(|&(key, _)| key).collect::<Vec<_>>();
+        // Sweep the crash round across the batch's lifetime: wherever it
+        // lands, every query's answer must be exact over the topology that
+        // answered it — the full cluster (attempts == 1) or the survivors
+        // (re-planned after the crash took the first answer with it).
+        for crash_round in 1..24 {
+            let opts = QueryOptions {
+                faults: FaultPlan::default().with_crash(3, crash_round),
+                ..Default::default()
+            };
+            let session = QuerySession::new(&sh, &idx, opts).unwrap();
+            let batch = session.run_batch(&queries, 6, Algorithm::Knn).unwrap();
+            for (j, bq) in batch.queries.iter().enumerate() {
+                let want = if bq.attempts == 1 { &full.queries[j] } else { &sur.queries[j] };
+                assert_eq!(
+                    answer(&bq.local_keys),
+                    answer(&want.local_keys),
+                    "crash@{crash_round} query {j} (attempts {})",
+                    bq.attempts
+                );
+                assert_eq!(bq.recovered, bq.attempts > 1);
+            }
+            assert_eq!(batch.recovered, batch.attempts > 1 || batch.recovery.any());
+            if batch.attempts > 1 {
+                assert!(batch.degraded, "a re-planned batch lost a shard");
+            }
         }
     }
 

@@ -163,8 +163,12 @@ impl FaultPlan {
     }
 
     /// Set the loss rate and retry budget.
+    ///
+    /// Values above 1000 (100% loss) are kept as-is and rejected with
+    /// [`EngineError::InvalidPlan`](crate::EngineError::InvalidPlan) when the
+    /// plan is validated at engine entry.
     pub fn with_loss(mut self, per_mille: u16, max_retries: u32) -> Self {
-        self.loss_per_mille = per_mille.min(1000);
+        self.loss_per_mille = per_mille;
         self.max_retries = max_retries;
         self
     }
@@ -192,6 +196,113 @@ impl FaultPlan {
             loss_per_mille: self.loss_per_mille,
             max_retries: self.max_retries,
             fault_seed: self.fault_seed,
+        }
+    }
+}
+
+/// Default number of rounds of per-link transports a rejoining machine's
+/// replay window may span (see [`RecoveryPlan::retention`]).
+pub const DEFAULT_RETENTION_ROUNDS: u64 = 64;
+
+/// Deterministic crash-*recovery* plan: which machines crash and later
+/// rejoin, how often they checkpoint, and how many rounds of delivered
+/// transports are retained for replay.
+///
+/// A rejoin entry `(machine, crash_round, rejoin_round)` is the recoverable
+/// counterpart of a [`FaultPlan`] crash: the machine goes dark at
+/// `crash_round` (it executes rounds `< crash_round`, sends nothing during
+/// the outage, and its inbound traffic is retained), then at `rejoin_round`
+/// it is restored from its last [`crate::Protocol::checkpoint`] and replays
+/// the retained rounds — emitting only the sends the fault-free execution
+/// would have produced during the outage — before executing normally again.
+/// Peers never observe the machine through [`crate::Ctx::crashed`] (the
+/// outage is a pause, not a fail-stop); they observe the rejoin through
+/// [`crate::Ctx::rejoined`] one round after `rejoin_round`. A machine
+/// listed here must **not** also appear in [`FaultPlan::crashes`] — the
+/// engines reject such plans with [`crate::EngineError::InvalidPlan`].
+///
+/// Everything is seeded and pure: the same plan realizes byte-identical
+/// recoveries (and [`crate::metrics::RecoveryMetrics`]) on every engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryPlan {
+    /// `(machine, crash_round, rejoin_round)` entries, one per recovering
+    /// machine. `rejoin_round` must be strictly greater than `crash_round`.
+    pub rejoins: Vec<(crate::message::MachineId, u64, u64)>,
+    /// Checkpoint cadence in rounds for machines in the plan: a checkpoint
+    /// is attempted at the top of every round `r` with
+    /// `r % checkpoint_interval == 0`, up to and including the crash round.
+    /// Clamped to ≥ 1 by [`RecoveryPlan::with_checkpoint_interval`].
+    pub checkpoint_interval: u64,
+    /// Maximum number of rounds the replay window (last checkpoint →
+    /// rejoin) may span; the per-round inbox copies retained for replay are
+    /// bounded by this. A rejoin whose window exceeds it fails with
+    /// [`crate::EngineError::CheckpointTooOld`].
+    pub retention: u64,
+}
+
+impl Default for RecoveryPlan {
+    fn default() -> Self {
+        RecoveryPlan {
+            rejoins: Vec::new(),
+            checkpoint_interval: 1,
+            retention: DEFAULT_RETENTION_ROUNDS,
+        }
+    }
+}
+
+impl RecoveryPlan {
+    /// True when no machine is scheduled to rejoin.
+    pub fn is_empty(&self) -> bool {
+        self.rejoins.is_empty()
+    }
+
+    /// Round at which `machine` rejoins (`u64::MAX`: never scheduled).
+    pub fn rejoin_round(&self, machine: crate::message::MachineId) -> u64 {
+        self.rejoins
+            .iter()
+            .filter(|(m, _, _)| *m == machine)
+            .map(|&(_, _, j)| j)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Add a crash-then-rejoin entry for `machine`.
+    pub fn with_rejoin(
+        mut self,
+        machine: crate::message::MachineId,
+        crash_round: u64,
+        rejoin_round: u64,
+    ) -> Self {
+        self.rejoins.push((machine, crash_round, rejoin_round));
+        self
+    }
+
+    /// Set the checkpoint cadence (clamped to ≥ 1).
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval.max(1);
+        self
+    }
+
+    /// Set the replay retention window (clamped to ≥ 1).
+    pub fn with_retention(mut self, rounds: u64) -> Self {
+        self.retention = rounds.max(1);
+        self
+    }
+
+    /// Project the plan onto the surviving subset `alive` (original machine
+    /// ids, ascending), mirroring [`FaultPlan::project`]: entries for
+    /// machines outside `alive` are dropped, the rest are remapped to the
+    /// subset's indices.
+    pub fn project(&self, alive: &[crate::message::MachineId]) -> RecoveryPlan {
+        let remap = |m: crate::message::MachineId| alive.iter().position(|&a| a == m);
+        RecoveryPlan {
+            rejoins: self
+                .rejoins
+                .iter()
+                .filter_map(|&(m, c, j)| remap(m).map(|i| (i, c, j)))
+                .collect(),
+            checkpoint_interval: self.checkpoint_interval,
+            retention: self.retention,
         }
     }
 }
@@ -238,6 +349,10 @@ pub struct NetConfig {
     /// Deterministic fault injection (default: no faults). See
     /// [`FaultPlan`].
     pub faults: FaultPlan,
+    /// Deterministic crash-recovery plan (default: nobody rejoins). See
+    /// [`RecoveryPlan`].
+    #[serde(default)]
+    pub recovery: RecoveryPlan,
 }
 
 /// Default event-engine run-ahead window: deep enough to absorb scheduling
@@ -258,6 +373,7 @@ impl NetConfig {
             event_window: DEFAULT_EVENT_WINDOW,
             delivery: DeliveryMode::Exact,
             faults: FaultPlan::default(),
+            recovery: RecoveryPlan::default(),
         }
     }
 
@@ -307,6 +423,24 @@ impl NetConfig {
     /// Set the fault-injection plan (see [`FaultPlan`]).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Set the crash-recovery plan (see [`RecoveryPlan`]).
+    pub fn with_recovery(mut self, recovery: RecoveryPlan) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Add one crash-then-rejoin entry to the recovery plan.
+    pub fn with_rejoin(
+        mut self,
+        machine: crate::message::MachineId,
+        crash_round: u64,
+        rejoin_round: u64,
+    ) -> Self {
+        self.recovery =
+            std::mem::take(&mut self.recovery).with_rejoin(machine, crash_round, rejoin_round);
         self
     }
 }
@@ -405,6 +539,38 @@ mod tests {
         assert_eq!(sub.loss_per_mille, 10);
         assert_eq!(sub.max_retries, 5);
         assert_eq!(sub.fault_seed, 42);
+    }
+
+    #[test]
+    fn recovery_plan_defaults_builders_and_lookups() {
+        let cfg = NetConfig::new(3);
+        assert!(cfg.recovery.is_empty());
+        assert_eq!(cfg.recovery.checkpoint_interval, 1);
+        assert_eq!(cfg.recovery.retention, DEFAULT_RETENTION_ROUNDS);
+        assert_eq!(cfg.recovery.rejoin_round(1), u64::MAX);
+
+        let plan = RecoveryPlan::default()
+            .with_rejoin(1, 3, 7)
+            .with_checkpoint_interval(0)
+            .with_retention(0);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.rejoin_round(1), 7);
+        assert_eq!(plan.checkpoint_interval, 1, "interval clamps to >= 1");
+        assert_eq!(plan.retention, 1, "retention clamps to >= 1");
+
+        let cfg = NetConfig::new(4).with_recovery(plan.clone()).with_rejoin(2, 5, 9);
+        assert_eq!(cfg.recovery.rejoins, vec![(1, 3, 7), (2, 5, 9)]);
+        assert_eq!(cfg.recovery.checkpoint_interval, plan.checkpoint_interval);
+    }
+
+    #[test]
+    fn recovery_plan_projection_drops_and_remaps() {
+        let plan = RecoveryPlan::default().with_rejoin(1, 3, 7).with_rejoin(3, 2, 5);
+        // Machine 1 was excluded; 0, 2, 3 survive as 0, 1, 2.
+        let sub = plan.project(&[0, 2, 3]);
+        assert_eq!(sub.rejoins, vec![(2, 2, 5)]);
+        assert_eq!(sub.checkpoint_interval, plan.checkpoint_interval);
+        assert_eq!(sub.retention, plan.retention);
     }
 
     #[test]

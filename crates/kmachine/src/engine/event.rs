@@ -65,7 +65,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Condvar;
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -81,6 +81,7 @@ use crate::message::{Envelope, MachineId};
 use crate::metrics::{FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
+use crate::recovery;
 use crate::rng::machine_rng;
 
 /// How long an idle worker parks before re-sweeping, bounding the cost of a
@@ -192,6 +193,13 @@ struct Shared<M> {
     /// Per-machine fail-stop horizons from the fault plan (`u64::MAX`:
     /// never crashes).
     crash_rounds: Vec<u64>,
+    /// Per-machine rejoin horizons from the recovery plan (`u64::MAX`:
+    /// never scheduled).
+    rejoin_rounds: Vec<u64>,
+    /// Shared rejoin state when a [`crate::config::RecoveryPlan`] is
+    /// active: the quiet-ring stall detector consults it so a cluster
+    /// waiting out an outage is not mistaken for a deadlock.
+    recovering: Option<Arc<recovery::RecoveryShared>>,
     /// Per-machine speed factors from the fault plan (1: full speed).
     slowdowns: Vec<u32>,
     /// Retry budget a lossy link exhausts before going down (for the
@@ -254,17 +262,36 @@ pub fn run_event<P: Protocol>(
     cfg: &NetConfig,
     protocols: Vec<P>,
 ) -> Result<RunOutcome<P::Output>, EngineError> {
+    recovery::validate(cfg)?;
     let k = protocols.len();
     assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
+    let workers = cfg.event_workers.unwrap_or_else(rayon::current_num_threads).clamp(1, k.max(1));
+    if workers <= 1 {
+        // Degenerate before wrapping: `run_sync` applies its own recovery
+        // wrapper, so delegating here never double-wraps.
+        return super::run_sync(cfg, protocols);
+    }
+    if cfg.recovery.is_empty() {
+        return event_core(cfg, protocols, workers, None);
+    }
+    let (wrapped, state) = recovery::wrap(cfg, protocols);
+    recovery::finish(event_core(cfg, wrapped, workers, Some(Arc::clone(&state))), &state)
+}
+
+/// The scheduler run itself; `recovering` carries the shared rejoin state
+/// when a [`crate::config::RecoveryPlan`] is active.
+fn event_core<P: Protocol>(
+    cfg: &NetConfig,
+    protocols: Vec<P>,
+    workers: usize,
+    recovering: Option<Arc<recovery::RecoveryShared>>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
+    let k = protocols.len();
     let budget = cfg.bandwidth.budget();
     assert!(budget >= 1, "bandwidth must allow at least 1 bit per round");
     // Depth ≥ 2 keeps the minimum-round machine always runnable (its
     // consumers' `consumed` trails its round by at most one).
     let window = cfg.event_window.max(2);
-    let workers = cfg.event_workers.unwrap_or_else(rayon::current_num_threads).clamp(1, k.max(1));
-    if workers <= 1 {
-        return super::run_sync(cfg, protocols);
-    }
     assert!(k <= u16::MAX as usize, "event engine supports at most 65535 machines");
 
     let shared = Shared::<P::Msg> {
@@ -289,6 +316,8 @@ pub fn run_event<P: Protocol>(
         idle: Mutex::new(()),
         cv: Condvar::new(),
         crash_rounds: crash_horizons(cfg),
+        rejoin_rounds: recovery::rejoin_horizons(cfg),
+        recovering,
         slowdowns: (0..k).map(|i| cfg.faults.slowdown(i)).collect(),
         max_retries: cfg.faults.max_retries,
         crashed: Mutex::new(Vec::new()),
@@ -380,7 +409,14 @@ pub fn run_event<P: Protocol>(
             None => return Err(EngineError::WorkerPanic { machine: i }),
         }
     }
-    Ok(RunOutcome { outputs: outs, metrics, skew, wall, faults })
+    Ok(RunOutcome {
+        outputs: outs,
+        metrics,
+        skew,
+        wall,
+        faults,
+        recovery: crate::metrics::RecoveryMetrics::default(),
+    })
 }
 
 /// Worker loop: sweep the machines (staggered start per worker so workers
@@ -548,6 +584,7 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                     rng: &mut st.rng,
                     next_seq: &mut st.seq,
                     crash_rounds: &sh.crash_rounds,
+                    rejoin_rounds: &sh.rejoin_rounds,
                 };
                 catch_unwind(AssertUnwindSafe(|| st.proto.on_round(&mut ctx)))
             };
@@ -713,8 +750,15 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
         }
 
         // --- stall accounting: run_sync's per-round conjunction, split per
-        // machine and joined through the per-round quiet counter ---
-        if sent == 0 && !became_done && !delivered && pending_total == 0 {
+        // machine and joined through the per-round quiet counter. A quiet
+        // cluster waiting out a scheduled rejoin is not a deadlock (mirrors
+        // `run_sync`'s stall suppression; max_rounds still bounds the wait).
+        if sent == 0
+            && !became_done
+            && !delivered
+            && pending_total == 0
+            && !sh.recovering.as_ref().is_some_and(|rec| rec.pending_at(r))
+        {
             let slots = sh.quiet.len() as u64;
             let slot = &sh.quiet[(r % slots) as usize];
             let stalled = loop {

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{DeliveryMode, NetConfig};
 use crate::error::EngineError;
-use crate::metrics::{FaultMetrics, RunMetrics, SkewMetrics};
+use crate::metrics::{FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics};
 use crate::protocol::Protocol;
 
 /// Environment variable that, when set, overrides every [`Engine::run`]
@@ -65,6 +65,12 @@ pub struct RunOutcome<T> {
     /// engine-equivalence contract covers it separately (same plan, same
     /// faults on every engine), and fault-free runs report it empty.
     pub faults: FaultMetrics,
+    /// Realized crash-recoveries of the run (checkpoints taken, rounds
+    /// replayed, machines rejoined — from the
+    /// [`crate::config::RecoveryPlan`]). Lives outside [`RunMetrics`] like
+    /// [`RunOutcome::faults`]: same plan, same recoveries on every engine,
+    /// and recovery-free runs report it empty.
+    pub recovery: RecoveryMetrics,
 }
 
 /// Which engine to run a protocol on.

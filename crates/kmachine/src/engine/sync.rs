@@ -13,6 +13,7 @@ use crate::message::Envelope;
 use crate::metrics::{FaultMetrics, RunMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
+use crate::recovery;
 use crate::rng::machine_rng;
 
 /// One link `src → dst`, lossy when the fault plan says so. All three
@@ -58,7 +59,23 @@ pub(crate) fn crashed_error(crashed: &[usize], crash_rounds: &[u64]) -> EngineEr
 /// If `protocols.len() != cfg.k`, or if bandwidth is `Enforce { 0 }`.
 pub fn run_sync<P: Protocol>(
     cfg: &NetConfig,
+    protocols: Vec<P>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
+    recovery::validate(cfg)?;
+    if cfg.recovery.is_empty() {
+        return sync_core(cfg, protocols, None);
+    }
+    let (wrapped, state) = recovery::wrap(cfg, protocols);
+    recovery::finish(sync_core(cfg, wrapped, Some(&state)), &state)
+}
+
+/// The lockstep loop itself, generic over whether a
+/// [`recovery::RecoveryShared`] is tracking an active rejoin plan (it
+/// suppresses the stall error while a scheduled rejoin is still ahead).
+fn sync_core<P: Protocol>(
+    cfg: &NetConfig,
     mut protocols: Vec<P>,
+    recovering: Option<&recovery::RecoveryShared>,
 ) -> Result<RunOutcome<P::Output>, EngineError> {
     let k = protocols.len();
     assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
@@ -81,6 +98,7 @@ pub fn run_sync<P: Protocol>(
         (0..k * k).map(|idx| build_link(cfg, idx % k, idx / k)).collect();
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
     let crash_rounds = crash_horizons(cfg);
+    let rejoin_rounds = recovery::rejoin_horizons(cfg);
     // Halted = produced an output OR crashed: either way the machine is no
     // longer scheduled and its late arrivals are discarded.
     let mut halted = vec![false; k];
@@ -127,6 +145,7 @@ pub fn run_sync<P: Protocol>(
                     rng: &mut rngs[i],
                     next_seq: &mut seqs[i],
                     crash_rounds: &crash_rounds,
+                    rejoin_rounds: &rejoin_rounds,
                 };
                 protocols[i].on_round(&mut ctx)
             };
@@ -175,7 +194,17 @@ pub fn run_sync<P: Protocol>(
             delivered_any |= inbox.len() > before;
         }
 
-        if !sent_any && !delivered_any && !progressed && backlog_bits == 0 {
+        if !sent_any
+            && !delivered_any
+            && !progressed
+            && backlog_bits == 0
+            // A quiet cluster waiting out a scheduled rejoin is not a
+            // deadlock: the rejoining machine's deferred sends arrive once
+            // its rejoin round comes (max_rounds still bounds the wait). A
+            // *failed* rejoin clears the pending flag, so its recorded
+            // error surfaces through this very stall.
+            && !recovering.is_some_and(|rec| rec.pending_at(round))
+        {
             // Survivors deadlocked waiting for a crashed peer's messages:
             // report the crash, not the stall, so callers know a retry over
             // the survivors can succeed.
@@ -209,6 +238,7 @@ pub fn run_sync<P: Protocol>(
         skew: crate::metrics::SkewMetrics::default(),
         wall: start.elapsed(),
         faults,
+        recovery: crate::metrics::RecoveryMetrics::default(),
     })
 }
 

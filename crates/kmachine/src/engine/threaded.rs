@@ -44,6 +44,7 @@ use crate::message::{Envelope, MachineId};
 use crate::metrics::{FaultMetrics, RunMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
+use crate::recovery;
 use crate::rng::machine_rng;
 
 /// Initial capacity of each staging-matrix slot (and, scaled by k, of each
@@ -89,6 +90,22 @@ pub fn run_threaded<P: Protocol>(
     cfg: &NetConfig,
     protocols: Vec<P>,
 ) -> Result<RunOutcome<P::Output>, EngineError> {
+    recovery::validate(cfg)?;
+    if cfg.recovery.is_empty() {
+        return threaded_core(cfg, protocols, None);
+    }
+    let (wrapped, state) = recovery::wrap(cfg, protocols);
+    recovery::finish(threaded_core(cfg, wrapped, Some(&state)), &state)
+}
+
+/// The barrier-lockstep run itself; `recovering` carries the shared rejoin
+/// state when a [`crate::config::RecoveryPlan`] is active (thread 0 consults
+/// it to keep a quiet cluster alive while a rejoin is still pending).
+fn threaded_core<P: Protocol>(
+    cfg: &NetConfig,
+    protocols: Vec<P>,
+    recovering: Option<&recovery::RecoveryShared>,
+) -> Result<RunOutcome<P::Output>, EngineError> {
     let k = protocols.len();
     assert_eq!(k, cfg.k, "protocol count {} != cfg.k {}", k, cfg.k);
     let budget = cfg.bandwidth.budget();
@@ -119,6 +136,7 @@ pub fn run_threaded<P: Protocol>(
     let outputs: Vec<Mutex<Option<P::Output>>> = (0..k).map(|_| Mutex::new(None)).collect();
     let sends: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
     let crash_rounds = crash_horizons(cfg);
+    let rejoin_rounds = recovery::rejoin_horizons(cfg);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -127,8 +145,21 @@ pub fn run_threaded<P: Protocol>(
             let outputs = &outputs;
             let sends = &sends;
             let crash_rounds = &crash_rounds;
+            let rejoin_rounds = &rejoin_rounds;
             scope.spawn(move || {
-                machine_main(id, k, cfg, budget, proto, shared, outputs, sends, crash_rounds);
+                machine_main(
+                    id,
+                    k,
+                    cfg,
+                    budget,
+                    proto,
+                    shared,
+                    outputs,
+                    sends,
+                    crash_rounds,
+                    rejoin_rounds,
+                    recovering,
+                );
             });
         }
     });
@@ -169,6 +200,7 @@ pub fn run_threaded<P: Protocol>(
         skew: crate::metrics::SkewMetrics::default(),
         wall,
         faults,
+        recovery: crate::metrics::RecoveryMetrics::default(),
     })
 }
 
@@ -183,6 +215,8 @@ fn machine_main<P: Protocol>(
     outputs: &[Mutex<Option<P::Output>>],
     sends: &[AtomicU64],
     crash_rounds: &[u64],
+    rejoin_rounds: &[u64],
+    recovering: Option<&recovery::RecoveryShared>,
 ) {
     let mut rng = machine_rng(cfg.seed, id);
     let mut seq = 0u64;
@@ -217,7 +251,13 @@ fn machine_main<P: Protocol>(
             } else if round > cfg.max_rounds {
                 *shared.error.lock() = Some(EngineError::MaxRounds { limit: cfg.max_rounds });
                 shared.stop.store(true, Ordering::Release);
-            } else if round > 0 && !active && backlog == 0 {
+            } else if round > 0
+                && !active
+                && backlog == 0
+                // A quiet cluster waiting out a scheduled rejoin is not a
+                // deadlock (mirrors `run_sync`'s stall suppression).
+                && !recovering.is_some_and(|rec| rec.pending_at(round))
+            {
                 // Survivors deadlocked on a crashed peer report the crash,
                 // not the stall — mirroring `run_sync`.
                 let crashed = shared.crashed.lock();
@@ -277,6 +317,7 @@ fn machine_main<P: Protocol>(
                     rng: &mut rng,
                     next_seq: &mut seq,
                     crash_rounds,
+                    rejoin_rounds,
                 };
                 catch_unwind(AssertUnwindSafe(|| proto.on_round(&mut ctx)))
             };

@@ -62,6 +62,30 @@ pub enum EngineError {
         /// The exhausted retry budget.
         retries: u32,
     },
+    /// The run's [`crate::config::FaultPlan`] / [`crate::config::
+    /// RecoveryPlan`] pair is self-contradictory (a loss rate above 100%,
+    /// duplicate crash entries for one machine, a rejoin scheduled
+    /// at-or-before its crash round, a machine both fail-stopped and
+    /// scheduled to rejoin, …). Rejected by every engine before any
+    /// protocol executes.
+    InvalidPlan {
+        /// Human-readable description of the contradiction.
+        reason: String,
+    },
+    /// A scheduled rejoin needs to replay more rounds than the
+    /// [`crate::config::RecoveryPlan::retention`] window keeps: the gap
+    /// between the machine's last (possible) checkpoint and its rejoin
+    /// round exceeds the retained per-link transports.
+    CheckpointTooOld {
+        /// The rejoining machine.
+        machine: usize,
+        /// Round of the newest checkpoint the replay could start from.
+        checkpoint_round: u64,
+        /// The scheduled rejoin round.
+        rejoin_round: u64,
+        /// The configured retention window the gap exceeds.
+        retention: u64,
+    },
     /// A `KNN_ENGINE` / `KNN_DELIVERY` environment override did not parse.
     /// Surfaced as an error (not a panic) so long-running serving binaries
     /// report a typo instead of aborting.
@@ -105,6 +129,22 @@ impl fmt::Display for EngineError {
                      retransmissions"
                 )
             }
+            EngineError::InvalidPlan { reason } => {
+                write!(f, "invalid fault/recovery plan: {reason}")
+            }
+            EngineError::CheckpointTooOld {
+                machine,
+                checkpoint_round,
+                rejoin_round,
+                retention,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} cannot rejoin at round {rejoin_round}: its last \
+                     checkpoint (round {checkpoint_round}) is outside the {retention}-round \
+                     retention window"
+                )
+            }
             EngineError::BadEnvOverride { var, reason } => {
                 write!(f, "invalid {var} environment override: {reason}")
             }
@@ -136,5 +176,15 @@ mod tests {
         let s =
             EngineError::BadEnvOverride { var: "KNN_ENGINE", reason: "nope".into() }.to_string();
         assert!(s.contains("KNN_ENGINE") && s.contains("nope"));
+        let s = EngineError::InvalidPlan { reason: "duplicate crash".into() }.to_string();
+        assert!(s.contains("duplicate crash"));
+        let s = EngineError::CheckpointTooOld {
+            machine: 2,
+            checkpoint_round: 4,
+            rejoin_round: 90,
+            retention: 64,
+        }
+        .to_string();
+        assert!(s.contains("machine 2") && s.contains("round 90") && s.contains("64"));
     }
 }

@@ -41,6 +41,17 @@
 //!   ([`Protocol::on_crash`], observed by peers via [`Ctx::crashed`]), and
 //!   wall-clock stragglers — the realized faults are identical on every
 //!   engine and reported in [`RunOutcome::faults`];
+//! * deterministic crash-recovery ([`config::RecoveryPlan`]): protocols
+//!   serialize their state through [`Protocol::checkpoint`] /
+//!   [`Protocol::restore`] (blobs built with [`snapshot`]); a machine
+//!   scheduled to crash-then-rejoin goes dark at its crash round and is
+//!   restored from its last checkpoint at its rejoin round, replaying the
+//!   missed rounds from retained inboxes (bounded by
+//!   [`config::RecoveryPlan::retention`], else
+//!   [`EngineError::CheckpointTooOld`]). Peers observe the comeback via
+//!   [`Ctx::rejoined`]; realized recoveries ride
+//!   [`RunOutcome::recovery`] and the recovered run's outputs are
+//!   byte-identical to the fault-free run on every engine;
 //! * reproducible per-machine randomness derived from a single master seed.
 //!
 //! ## Example
@@ -100,15 +111,18 @@ pub mod metrics;
 pub mod mux;
 pub mod payload;
 pub mod protocol;
+pub(crate) mod recovery;
 pub mod rng;
+pub mod snapshot;
 
-pub use config::{BandwidthMode, DeliveryMode, FaultPlan, NetConfig};
+pub use config::{BandwidthMode, DeliveryMode, FaultPlan, NetConfig, RecoveryPlan};
 pub use ctx::Ctx;
 pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, DELIVERY_ENV, ENGINE_ENV};
 pub use error::EngineError;
 pub use link::{LinkFifo, LossConfig};
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
-pub use metrics::{FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
+pub use metrics::{FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics, TagMetrics};
 pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};
 pub use payload::Payload;
 pub use protocol::{Protocol, Step};
+pub use snapshot::{SnapshotReader, SnapshotWriter};

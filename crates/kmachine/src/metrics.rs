@@ -91,6 +91,37 @@ impl FaultMetrics {
     }
 }
 
+/// Realized-recovery accounting of one run under a
+/// [`crate::config::RecoveryPlan`].
+///
+/// Carried on [`crate::RunOutcome::recovery`], *not* inside [`RunMetrics`],
+/// for the same reason as [`FaultMetrics`]: checkpointing and replay are
+/// recovery-layer bookkeeping — the protocol's communication bill stays
+/// identical whether or not a machine paused and caught back up under it —
+/// so the cross-engine `RunMetrics` equality asserts survive unchanged.
+/// The recovery realization itself is deterministic too: the same plan
+/// yields byte-identical `RecoveryMetrics` on every engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryMetrics {
+    /// Checkpoints recorded across all machines in the rejoin plan (the
+    /// implicit pristine round-0 snapshot counts as one).
+    pub checkpoints: u64,
+    /// Total serialized bytes of all recorded checkpoint blobs.
+    pub checkpoint_bytes: u64,
+    /// Rounds re-executed from retained transports during rejoins.
+    pub replayed_rounds: u64,
+    /// Machines that completed a crash-then-rejoin cycle, ascending.
+    pub rejoined: Vec<usize>,
+}
+
+impl RecoveryMetrics {
+    /// True when the run realized at least one recovery action (a
+    /// checkpoint, a replayed round, or a completed rejoin).
+    pub fn any(&self) -> bool {
+        self.checkpoints > 0 || self.replayed_rounds > 0 || !self.rejoined.is_empty()
+    }
+}
+
 /// Exact communication costs of one protocol run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -204,6 +235,19 @@ mod tests {
         assert!(f.any());
         let f = FaultMetrics { crashed: vec![2], ..Default::default() };
         assert!(f.any());
+    }
+
+    #[test]
+    fn recovery_metrics_flag_realized_recoveries() {
+        let mut r = RecoveryMetrics::default();
+        assert!(!r.any());
+        r.checkpoints = 2;
+        r.checkpoint_bytes = 48;
+        assert!(r.any());
+        let r = RecoveryMetrics { rejoined: vec![1], ..Default::default() };
+        assert!(r.any());
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("\"rejoined\":[1]"));
     }
 
     #[test]

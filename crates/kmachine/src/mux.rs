@@ -26,6 +26,7 @@ use crate::ctx::Ctx;
 use crate::message::Envelope;
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
 
 /// Wire size of the multiplexing tag prepended to every tagged message.
 pub const MUX_TAG_BITS: u64 = 32;
@@ -52,17 +53,27 @@ impl<M: Payload> Payload for Tagged<M> {
 /// Per-machine output of a multiplexed run.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct MuxOutput<T> {
-    /// Instance outputs, indexed by tag.
-    pub outputs: Vec<T>,
-    /// Round in which each instance produced its output on this machine.
+    /// Instance outputs, indexed by tag. `None` marks an instance **lost to
+    /// a crash**: the machine went down mid-batch and that instance had
+    /// neither finished nor could its [`Protocol::on_crash`] hook salvage
+    /// an answer. A fault-free (or fully salvaged) run is all `Some`;
+    /// callers re-plan only the `None` holes instead of retrying the whole
+    /// batch.
+    pub outputs: Vec<Option<T>>,
+    /// Round in which each instance produced its output on this machine
+    /// (0 for instances lost to a crash).
     pub done_round: Vec<u64>,
 }
 
-/// One live instance plus its private determinism state.
+/// One instance plus its private determinism state. The protocol value is
+/// kept after the instance finishes (`live == false`) — never stepped
+/// again, but [`MuxProtocol::restore`] needs a body to rebuild when a
+/// checkpoint predates the instance's completion.
 struct Slot<P> {
     proto: P,
     rng: StdRng,
     seq: u64,
+    live: bool,
 }
 
 /// Runs m instances of `P` as one protocol, multiplexing their messages
@@ -72,7 +83,7 @@ struct Slot<P> {
 /// addressed to an already-finished instance are discarded, mirroring the
 /// engine's treatment of messages delivered to finished machines.
 pub struct MuxProtocol<P: Protocol> {
-    slots: Vec<Option<Slot<P>>>,
+    slots: Vec<Slot<P>>,
     outputs: Vec<Option<P::Output>>,
     done_round: Vec<u64>,
     remaining: usize,
@@ -101,7 +112,7 @@ impl<P: Protocol> MuxProtocol<P> {
             // RNG; a placeholder seed keeps the slot layout simple.
             slots: instances
                 .into_iter()
-                .map(|proto| Some(Slot { proto, rng: StdRng::seed_from_u64(0), seq: 0 }))
+                .map(|proto| Slot { proto, rng: StdRng::seed_from_u64(0), seq: 0, live: true })
                 .collect(),
             outputs: (0..m).map(|_| None).collect(),
             done_round: vec![0; m],
@@ -136,7 +147,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
     /// instances are silent forever.
     fn quiet_until(&self) -> Option<u64> {
         let mut horizon = u64::MAX;
-        for slot in self.slots.iter().flatten() {
+        for slot in self.slots.iter().filter(|s| s.live) {
             match slot.proto.quiet_until() {
                 None => return None,
                 Some(q) => horizon = horizon.min(q),
@@ -145,19 +156,90 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
         Some(horizon)
     }
 
-    /// A crashed mux machine salvages an output only when **every**
-    /// instance can: one unsalvageable instance and the whole machine's
-    /// batch output is unattributable, so collection must fail and the
-    /// caller retry the batch over the survivors.
+    /// Per-instance crash salvage: a crashed mux machine always accounts
+    /// for its batch, instance by instance. Finished instances keep their
+    /// outputs, still-live instances get one [`Protocol::on_crash`] call
+    /// each, and instances that can salvage nothing become `None` holes in
+    /// [`MuxOutput::outputs`] — so callers re-plan exactly the lost
+    /// queries instead of failing (and retrying) the whole batch.
     fn on_crash(&mut self) -> Option<Self::Output> {
         let mut outputs = Vec::with_capacity(self.slots.len());
         for (tag, slot) in self.slots.iter_mut().enumerate() {
-            match slot {
-                None => outputs.push(self.outputs[tag].take().expect("done instance has output")),
-                Some(live) => outputs.push(live.proto.on_crash()?),
+            if slot.live {
+                outputs.push(slot.proto.on_crash());
+            } else {
+                outputs.push(Some(self.outputs[tag].take().expect("done instance has output")));
             }
         }
         Some(MuxOutput { outputs, done_round: std::mem::take(&mut self.done_round) })
+    }
+
+    /// Snapshot every instance: finished ones as a done marker (their
+    /// output survives the crash inside this same value and is re-certified
+    /// by [`MuxProtocol::restore`]), live ones as their inner checkpoint
+    /// blob plus the per-instance RNG state and send-sequence counter. One
+    /// live instance without checkpoint support makes the whole machine
+    /// unsnapshottable (`None`).
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = SnapshotWriter::new();
+        w.u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            w.flag(slot.live);
+            if slot.live {
+                w.bytes(&slot.proto.checkpoint()?);
+                for word in slot.rng.to_state() {
+                    w.u64(word);
+                }
+                w.u64(slot.seq);
+            }
+        }
+        Some(w.finish())
+    }
+
+    /// Rebuild the batch from a [`MuxProtocol::checkpoint`] blob. Instances
+    /// the blob marks live are rewound — inner state restored, RNG stream
+    /// and sequence counter reset, any post-checkpoint output discarded (the
+    /// replay recomputes it). Instances the blob marks done must already
+    /// hold their output (completion is monotone: a checkpoint never knows
+    /// *more* finished instances than the state being restored), and keep
+    /// it.
+    fn restore(&mut self, blob: &[u8]) -> bool {
+        let mut r = SnapshotReader::new(blob);
+        if r.u64() != Some(self.slots.len() as u64) {
+            return false;
+        }
+        let mut remaining = 0usize;
+        for (tag, slot) in self.slots.iter_mut().enumerate() {
+            let Some(live) = r.flag() else { return false };
+            if live {
+                let Some(inner) = r.bytes() else { return false };
+                if !slot.proto.restore(inner) {
+                    return false;
+                }
+                let mut state = [0u64; 4];
+                for word in &mut state {
+                    let Some(v) = r.u64() else { return false };
+                    *word = v;
+                }
+                let Some(seq) = r.u64() else { return false };
+                slot.rng = StdRng::from_state(state);
+                slot.seq = seq;
+                slot.live = true;
+                self.outputs[tag] = None;
+                self.done_round[tag] = 0;
+                remaining += 1;
+            } else if slot.live || self.outputs[tag].is_none() {
+                // The blob claims this instance was done at checkpoint time
+                // but the state being restored has no output for it — the
+                // blob cannot belong to this run.
+                return false;
+            }
+        }
+        if !r.done() {
+            return false;
+        }
+        self.remaining = remaining;
+        true
     }
 
     fn on_round(&mut self, ctx: &mut Ctx<'_, Tagged<P::Msg>>) -> Step<MuxOutput<P::Output>> {
@@ -166,7 +248,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
             // Give each instance an independent deterministic RNG stream, so
             // its random choices do not depend on what the *other* instances
             // draw (their consumption interleaves otherwise).
-            for slot in self.slots.iter_mut().flatten() {
+            for slot in self.slots.iter_mut() {
                 slot.rng = StdRng::seed_from_u64(ctx.rng().random());
             }
         }
@@ -180,7 +262,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
         for env in ctx.inbox() {
             let tag = env.msg.tag as usize;
             assert!(tag < m, "message for unknown mux tag {tag} (m = {m})");
-            if self.slots[tag].is_some() {
+            if self.slots[tag].live {
                 self.parts[tag].push(Envelope {
                     src: env.src,
                     dst: env.dst,
@@ -193,7 +275,10 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
 
         let inner_outbox = &mut self.inner_outbox;
         for (tag, part) in self.parts.iter().enumerate() {
-            let Some(slot) = self.slots[tag].as_mut() else { continue };
+            let slot = &mut self.slots[tag];
+            if !slot.live {
+                continue;
+            }
             let step = {
                 let mut inner = Ctx {
                     id: ctx.id,
@@ -204,6 +289,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                     rng: &mut slot.rng,
                     next_seq: &mut slot.seq,
                     crash_rounds: ctx.crash_rounds,
+                    rejoin_rounds: ctx.rejoin_rounds,
                 };
                 slot.proto.on_round(&mut inner)
             };
@@ -216,7 +302,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
             if let Step::Done(out) = step {
                 self.outputs[tag] = Some(out);
                 self.done_round[tag] = ctx.round();
-                self.slots[tag] = None;
+                self.slots[tag].live = false;
                 self.remaining -= 1;
             }
         }
@@ -226,7 +312,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                 outputs: self
                     .outputs
                     .iter_mut()
-                    .map(|o| o.take().expect("all instances done"))
+                    .map(|o| Some(o.take().expect("all instances done")))
                     .collect(),
                 done_round: std::mem::take(&mut self.done_round),
             })
@@ -239,7 +325,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BandwidthMode, NetConfig};
+    use crate::config::{BandwidthMode, FaultPlan, NetConfig};
     use crate::engine::{run_event, run_sync, run_threaded};
 
     /// Every non-leader streams `payload` values to machine 0; machine 0
@@ -302,6 +388,28 @@ mod tests {
                 Step::Continue
             }
         }
+
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            let mut w = SnapshotWriter::new();
+            w.u64(self.payload);
+            w.u64(self.acc);
+            w.u64(self.finished as u64);
+            Some(w.finish())
+        }
+
+        fn restore(&mut self, blob: &[u8]) -> bool {
+            let mut r = SnapshotReader::new(blob);
+            let (Some(payload), Some(acc), Some(finished)) = (r.u64(), r.u64(), r.u64()) else {
+                return false;
+            };
+            if !r.done() {
+                return false;
+            }
+            self.payload = payload;
+            self.acc = acc;
+            self.finished = finished as usize;
+            true
+        }
     }
 
     fn solo(k: usize, payload: u64, seed: u64) -> crate::engine::RunOutcome<u64> {
@@ -313,11 +421,8 @@ mod tests {
         run_sync(&cfg, protos).unwrap()
     }
 
-    fn muxed(k: usize, payloads: &[u64], seed: u64) -> crate::engine::RunOutcome<MuxOutput<u64>> {
-        let cfg = NetConfig::new(k)
-            .with_seed(seed)
-            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 });
-        let protos: Vec<MuxProtocol<StreamSum>> = (0..k)
+    fn mux_fleet(k: usize, payloads: &[u64]) -> Vec<MuxProtocol<StreamSum>> {
+        (0..k)
             .map(|_| {
                 MuxProtocol::new(
                     payloads
@@ -326,8 +431,14 @@ mod tests {
                         .collect(),
                 )
             })
-            .collect();
-        run_sync(&cfg, protos).unwrap()
+            .collect()
+    }
+
+    fn muxed(k: usize, payloads: &[u64], seed: u64) -> crate::engine::RunOutcome<MuxOutput<u64>> {
+        let cfg = NetConfig::new(k)
+            .with_seed(seed)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 });
+        run_sync(&cfg, mux_fleet(k, payloads)).unwrap()
     }
 
     #[test]
@@ -338,7 +449,8 @@ mod tests {
         for (tag, &p) in payloads.iter().enumerate() {
             let want = solo(k, p, 7);
             assert_eq!(
-                out.outputs[0].outputs[tag], want.outputs[0],
+                out.outputs[0].outputs[tag],
+                Some(want.outputs[0]),
                 "instance {tag} diverged from its solo run"
             );
         }
@@ -483,9 +595,58 @@ mod tests {
         let k = 5;
         let out = muxed(k, &[12], 9);
         let want = solo(k, 12, 9);
-        assert_eq!(out.outputs[0].outputs[0], want.outputs[0]);
+        assert_eq!(out.outputs[0].outputs[0], Some(want.outputs[0]));
         // One tag owns all traffic.
         assert_eq!(out.metrics.per_tag.len(), 1);
         assert_eq!(out.metrics.per_tag[0].messages, out.metrics.messages);
+    }
+
+    #[test]
+    fn mux_crash_then_rejoin_matches_fault_free_run() {
+        let k = 3;
+        let payloads = [2u64, 9, 4];
+        let clean = muxed(k, &payloads, 13);
+        // Crash round 2 lands after the short tag finishes on the worker, so
+        // the checkpoint carries a mix of done and live instances and the
+        // restore exercises both the rewind and the kept-output branch.
+        for (crash, rejoin) in [(1u64, 3u64), (2, 6)] {
+            let cfg = NetConfig::new(k)
+                .with_seed(13)
+                .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 })
+                .with_rejoin(1, crash, rejoin);
+            let out = run_sync(&cfg, mux_fleet(k, &payloads)).unwrap();
+            assert_eq!(out.outputs, clean.outputs, "crash {crash} rejoin {rejoin}");
+            assert_eq!(out.metrics.messages, clean.metrics.messages);
+            assert_eq!(out.metrics.bits, clean.metrics.bits);
+            assert_eq!(out.recovery.rejoined, vec![1]);
+            assert!(out.recovery.checkpoints > 0);
+            assert!(out.faults.crashed.is_empty());
+        }
+    }
+
+    #[test]
+    fn crashed_mux_salvages_finished_instances_with_holes() {
+        let k = 3;
+        let payloads = [1u64, 30];
+        // Worker 2 finishes the one-value tag within a couple of rounds but
+        // the 30-value tag outlives the crash. Its round-0 sends are already
+        // in the link queues and keep draining, so the survivors complete.
+        let cfg = NetConfig::new(k)
+            .with_seed(5)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 256 })
+            .with_faults(FaultPlan::default().with_crash(2, 4));
+        let out = run_sync(&cfg, mux_fleet(k, &payloads)).unwrap();
+        assert_eq!(out.faults.crashed, vec![2]);
+        let salvaged = &out.outputs[2];
+        assert!(salvaged.outputs[0].is_some(), "finished instance survives the crash");
+        assert_eq!(salvaged.outputs[1], None, "live instance is lost to the crash");
+        assert!(salvaged.done_round[0] > 0);
+        assert_eq!(salvaged.done_round[1], 0);
+        // Survivors still agree with fault-free solo runs on every tag.
+        for (tag, &p) in payloads.iter().enumerate() {
+            let want = solo(k, p, 5);
+            assert_eq!(out.outputs[0].outputs[tag], Some(want.outputs[0]));
+            assert_eq!(out.outputs[1].outputs[tag], Some(want.outputs[0]));
+        }
     }
 }

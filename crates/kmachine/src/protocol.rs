@@ -67,6 +67,30 @@ pub trait Protocol: Send {
     fn on_crash(&mut self) -> Option<Self::Output> {
         None
     }
+
+    /// Serialize this machine's protocol state for crash-recovery (see
+    /// [`crate::config::RecoveryPlan`]). Called at the top of a round,
+    /// before that round executes; the blob must capture everything
+    /// [`Protocol::restore`] needs to resume from exactly that point.
+    ///
+    /// Returning `None` (the default) means the state is not serializable
+    /// right now — a scheduled rejoin that finds no usable checkpoint fails
+    /// loudly with [`crate::EngineError::Crashed`] rather than silently
+    /// degrading to a permanent fail-stop (the one exception: a machine
+    /// that crashes at round 0 never executed, so its untouched instance
+    /// rejoins from the implicit pristine snapshot even without this hook).
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuild this instance's state from a blob produced by
+    /// [`Protocol::checkpoint`], discarding whatever state it currently
+    /// holds. Returns whether the restore succeeded; `false` (the default)
+    /// marks the rejoin unsupported and the run fails with
+    /// [`crate::EngineError::Crashed`].
+    fn restore(&mut self, _blob: &[u8]) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +122,11 @@ mod tests {
     #[test]
     fn crash_hook_defaults_to_unsalvageable() {
         assert_eq!(Nop.on_crash(), None);
+    }
+
+    #[test]
+    fn checkpoint_hooks_default_to_unsupported() {
+        assert_eq!(Nop.checkpoint(), None);
+        assert!(!Nop.restore(&[1, 2, 3]));
     }
 }

@@ -14,7 +14,7 @@
 //! chaos leg uploads.
 
 use kmachine::error::EngineError;
-use kmachine::{DeliveryMode, Engine, FaultPlan};
+use kmachine::{DeliveryMode, Engine, FaultPlan, RecoveryPlan};
 use knn_core::cluster::{KnnCluster, Neighbor};
 use knn_core::error::CoreError;
 use knn_core::runner::{Algorithm, ElectionKind};
@@ -45,6 +45,21 @@ fn cluster(
         .delivery(delivery)
         .election(ElectionKind::Fixed)
         .faults(faults)
+        .build();
+    cluster.load_shards(shards).expect("shard count");
+    cluster
+}
+
+/// A loaded cluster scheduled to self-heal: no fail-stop faults, but a
+/// crash-then-rejoin recovery plan (checkpoint/restore inside the run).
+fn healing_cluster(k: usize, seed: u64, engine: Engine, recovery: RecoveryPlan) -> KnnCluster {
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .engine(engine)
+        .election(ElectionKind::Fixed)
+        .recovery(recovery)
         .build();
     cluster.load_shards(shards).expect("shard count");
     cluster
@@ -288,6 +303,113 @@ fn empty_shards_are_healthy_not_degraded() {
         assert_eq!(ans.shards_used, k, "{algo:?}");
         assert_eq!(ans.neighbors.len(), ell, "{algo:?}: the other shards fill the answer");
     }
+}
+
+/// Crash-then-rejoin is **invisible to the answer** on every engine and
+/// every pool size: a machine that goes dark mid-batch, restores from its
+/// last protocol checkpoint, and replays the retained rounds produces a
+/// batch byte-identical to the fault-free reference — same neighbors,
+/// same aggregate metrics — with `degraded` cleared (the rejoined shard
+/// served), no realized crash, and the recovery work reported on the
+/// answer (`recovered`, `replayed_rounds`).
+#[test]
+fn rejoin_is_byte_identical_on_every_engine() {
+    let (seed, k, ell) = (67u64, 4usize, 6usize);
+    let qs = queries(seed, 4);
+    let want = with_pool(1, || {
+        let c = cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default());
+        c.query_batch_with(Algorithm::Simple, &qs, ell).expect("fault-free reference")
+    });
+    assert!(!want.recovered);
+    assert_eq!(want.replayed_rounds, 0);
+    let plan = RecoveryPlan::default().with_rejoin(2, 2, 5);
+    let mut replayed = Vec::new();
+    for engine in [Engine::Sync, Engine::Threaded, Engine::Event] {
+        for pool in [1usize, 8] {
+            let got = with_pool(pool, || {
+                let c = healing_cluster(k, seed, engine, plan.clone());
+                c.query_batch_with(Algorithm::Simple, &qs, ell).expect("healing batch")
+            });
+            let label = format!("{engine:?}/pool {pool}");
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                assert_eq!(g.neighbors, w.neighbors, "rejoin changed an answer: {label}");
+            }
+            assert_eq!(got.metrics, want.metrics, "rejoin changed the metrics: {label}");
+            assert!(!got.degraded, "the rejoined shard serves; nothing is degraded: {label}");
+            assert_eq!(got.shards_used, k, "{label}");
+            assert!(
+                got.faults.crashed.is_empty(),
+                "a healed crash is not a realized fault: {label}"
+            );
+            assert!(got.recovered, "the recovery work must be reported: {label}");
+            assert_eq!(got.attempts, 1, "rejoin heals in-run, without a retry: {label}");
+            assert!(got.replayed_rounds >= 1, "{label}");
+            replayed.push(got.replayed_rounds);
+        }
+    }
+    assert!(
+        replayed.windows(2).all(|w| w[0] == w[1]),
+        "recovery metrics must be engine-invariant: {replayed:?}"
+    );
+}
+
+/// The same crash **without** a rejoin plan degrades the answer; with the
+/// plan, the identical crash round heals. This is the self-healing
+/// contract in one contrast — and it holds on the single-query path too
+/// (BinSearch exercises the other checkpointable protocol).
+#[test]
+fn rejoin_clears_the_degraded_flag_a_bare_crash_sets() {
+    let (seed, k, ell) = (71u64, 4usize, 6usize);
+    let q = ScalarPoint(seed.wrapping_mul(127));
+    let clean = cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default());
+    let want = clean.query_with(Algorithm::BinSearch, &q, ell).expect("fault-free reference");
+    let bare =
+        cluster(k, seed, Engine::Sync, DeliveryMode::Exact, FaultPlan::default().with_crash(2, 2));
+    let degraded = bare.query_with(Algorithm::BinSearch, &q, ell).expect("survivor retry");
+    assert!(degraded.degraded, "an unhealed crash degrades the answer");
+    assert_eq!(degraded.shards_used, k - 1);
+    assert!(degraded.recovered, "the survivor retry is recovery work");
+    assert!(degraded.attempts > 1);
+    let healing =
+        healing_cluster(k, seed, Engine::Sync, RecoveryPlan::default().with_rejoin(2, 2, 5));
+    let healed = healing.query_with(Algorithm::BinSearch, &q, ell).expect("healed query");
+    assert!(!healed.degraded, "the rejoined shard clears the flag");
+    assert_eq!(healed.shards_used, k);
+    assert!(healed.recovered);
+    assert_eq!(healed.attempts, 1);
+    assert!(healed.replayed_rounds >= 1);
+    assert_eq!(healed.neighbors, want.neighbors, "healed answer is byte-identical");
+    // The leader-driven bisection genuinely waits out the offline window
+    // (its next probe needs the dark worker's report), so the round count
+    // may stretch — but the conversation itself is byte-identical: same
+    // messages, same bits.
+    assert_eq!(healed.metrics.messages, want.metrics.messages);
+    assert_eq!(healed.metrics.bits, want.metrics.bits);
+    assert!(healed.metrics.rounds >= want.metrics.rounds);
+}
+
+/// A representative self-healing run — crash, checkpoint-restore, replay,
+/// rejoin — written to `results/recovery_metrics.json` for the CI chaos
+/// leg's artifact upload.
+#[test]
+fn recovery_metrics_artifact() {
+    let (seed, k, ell) = (73u64, 5usize, 6usize);
+    let qs = queries(seed, 4);
+    let batch = with_pool(4, || {
+        let c = healing_cluster(
+            k,
+            seed,
+            Engine::Event,
+            RecoveryPlan::default().with_rejoin(1, 2, 6).with_checkpoint_interval(2),
+        );
+        c.query_batch_with(Algorithm::Simple, &qs, ell).expect("healing batch")
+    });
+    assert!(batch.recovered, "the artifact must witness actual recovery work");
+    assert!(!batch.degraded);
+    assert!(batch.replayed_rounds >= 1);
+    std::fs::create_dir_all("results").expect("results dir");
+    let json = serde_json::to_string_pretty(&batch).expect("serialize");
+    std::fs::write("results/recovery_metrics.json", json).expect("write artifact");
 }
 
 /// A representative chaos run — survivable loss plus a straggler plus a
