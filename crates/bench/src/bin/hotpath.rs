@@ -239,8 +239,14 @@ fn push_wave_lattice(links: &mut [LinkFifo<Word>], k: usize, per_link: usize) {
                 continue;
             }
             for seq in 0..per_link {
-                let env =
-                    Envelope { src, dst, sent_round: 0, seq: seq as u64, msg: Word(seq as u64) };
+                let env = Envelope {
+                    src,
+                    dst,
+                    sent_round: 0,
+                    seq: seq as u64,
+                    digest: 0,
+                    msg: Word(seq as u64),
+                };
                 links[dst * k + src].push(env, 64);
             }
         }
@@ -266,6 +272,7 @@ fn transport_hashmap(k: usize, waves: usize, per_link: usize, budget: u64) -> (u
                         dst,
                         sent_round: 0,
                         seq: seq as u64,
+                        digest: 0,
                         msg: Word(seq as u64),
                     };
                     links.entry((dst, src)).or_default().push(env, 64);

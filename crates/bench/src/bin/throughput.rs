@@ -34,11 +34,19 @@
 //! evidence (`max_skew`, `promised_rounds`). Fault-free exact rows carry
 //! zeros — the columns are always present so CI diffs line up.
 //!
+//! Byzantine accounting rides the rows the same way: `--lie M` makes
+//! machine `M` a round-0 liar and `--corrupt SRC,DST[,PERMILLE]` corrupts
+//! a link (default 1000‰). The audit catches the adversary, quarantines
+//! it, and re-runs on the honest survivors — the `audits`/`quarantined`
+//! columns record the work, and like every simulated cost they must be
+//! engine-invariant.
+//!
 //! ```text
 //! cargo run -p knn-bench --release --bin throughput
 //!     [--k 8] [--per-machine 4096] [--ell 64] [--queries 64]
 //!     [--batches 1,8,64] [--engines sync] [--delivery exact]
-//!     [--loss 0] [--loss-retries 64] [--seed 7]
+//!     [--loss 0] [--loss-retries 64] [--lie M] [--corrupt SRC,DST[,P]]
+//!     [--seed 7]
 //! ```
 //!
 //! Writes `results/throughput.{csv,json}` so CI accumulates the perf
@@ -46,7 +54,7 @@
 
 use std::time::Instant;
 
-use kmachine::{DeliveryMode, Engine, FaultPlan};
+use kmachine::{AdversaryPlan, DeliveryMode, Engine, FaultPlan};
 use knn_bench::args::Args;
 use knn_bench::table::Table;
 use knn_bench::{write_csv, write_json};
@@ -73,6 +81,11 @@ struct Row {
     /// only; zero elsewhere).
     max_skew: u64,
     promised_rounds: u64,
+    /// Byzantine-audit work across the sweep's runs (engine-invariant;
+    /// zero without `--lie` / `--corrupt`).
+    audits_run: u64,
+    integrity_violations: u64,
+    suspects_quarantined: u64,
 }
 
 fn main() {
@@ -100,6 +113,27 @@ fn main() {
     if loss > 0 {
         faults = faults.with_loss(loss as u16, loss_retries);
     }
+    let mut adversary = AdversaryPlan::default();
+    let lie = args.get_str("lie", "");
+    if !lie.is_empty() {
+        let m: usize = lie.parse().unwrap_or_else(|_| panic!("--lie expects a machine id"));
+        adversary = adversary.with_lie(m, 0);
+    }
+    let corrupt = args.get_str("corrupt", "");
+    if !corrupt.is_empty() {
+        let parts: Vec<u64> = corrupt
+            .split(',')
+            .map(|s| {
+                s.trim().parse().unwrap_or_else(|_| panic!("--corrupt expects SRC,DST[,PERMILLE]"))
+            })
+            .collect();
+        assert!(
+            (2..=3).contains(&parts.len()),
+            "--corrupt expects SRC,DST[,PERMILLE], got {corrupt:?}"
+        );
+        let per_mille = parts.get(2).copied().unwrap_or(1000) as u16;
+        adversary = adversary.with_corrupt_link(parts[0] as usize, parts[1] as usize, per_mille);
+    }
     let shards = ScalarWorkload { per_machine, lo: 0, hi }.generate(k, seed);
     let mut cluster: KnnCluster = KnnCluster::builder()
         .machines(k)
@@ -107,6 +141,7 @@ fn main() {
         .election(ElectionKind::Star)
         .delivery(delivery)
         .faults(faults)
+        .adversary(adversary)
         .build();
     cluster.load_shards(shards).expect("shard count matches k");
 
@@ -125,6 +160,8 @@ fn main() {
         "elections",
         "dropped",
         "skew",
+        "audits",
+        "quarantined",
     ]);
     let mut rows: Vec<Row> = Vec::new();
 
@@ -141,6 +178,9 @@ fn main() {
                 let mut rexmit_bits = 0u64;
                 let mut max_skew = 0u64;
                 let mut promised = 0u64;
+                let mut audits = 0u64;
+                let mut violations = 0u64;
+                let mut quarantined = 0u64;
                 let start = Instant::now();
                 if bs <= 1 {
                     // Sequential baseline: every query pays its own
@@ -153,6 +193,9 @@ fn main() {
                         crashes += ans.faults.crashed.len() as u64;
                         dropped += ans.faults.dropped_messages;
                         rexmit_bits += ans.faults.retransmitted_bits;
+                        audits += ans.audit.audits_run;
+                        violations += ans.audit.integrity_violations;
+                        quarantined += ans.audit.suspects_quarantined;
                         if let Some(em) = &ans.election_metrics {
                             elections += 1;
                             rounds += em.rounds;
@@ -169,6 +212,9 @@ fn main() {
                         crashes += out.faults.crashed.len() as u64;
                         dropped += out.faults.dropped_messages;
                         rexmit_bits += out.faults.retransmitted_bits;
+                        audits += out.audit.audits_run;
+                        violations += out.audit.integrity_violations;
+                        quarantined += out.audit.suspects_quarantined;
                         max_skew = max_skew.max(out.skew.max_skew);
                         promised += out.skew.promised_rounds;
                         if let Some(em) = &out.election_metrics {
@@ -195,6 +241,9 @@ fn main() {
                     retransmitted_kilobits: rexmit_bits as f64 / 1000.0,
                     max_skew,
                     promised_rounds: promised,
+                    audits_run: audits,
+                    integrity_violations: violations,
+                    suspects_quarantined: quarantined,
                 };
                 table.row(vec![
                     row.engine.clone(),
@@ -207,6 +256,8 @@ fn main() {
                     row.elections.to_string(),
                     row.dropped_messages.to_string(),
                     row.max_skew.to_string(),
+                    row.audits_run.to_string(),
+                    row.suspects_quarantined.to_string(),
                 ]);
                 rows.push(row);
             }
@@ -232,6 +283,9 @@ fn main() {
                     r.kilobits_per_query,
                     r.dropped_messages,
                     r.retransmitted_kilobits,
+                    r.audits_run,
+                    r.integrity_violations,
+                    r.suspects_quarantined,
                 ),
                 (
                     reference.rounds_per_query,
@@ -239,6 +293,9 @@ fn main() {
                     reference.kilobits_per_query,
                     reference.dropped_messages,
                     reference.retransmitted_kilobits,
+                    reference.audits_run,
+                    reference.integrity_violations,
+                    reference.suspects_quarantined,
                 ),
                 "engine {} diverged from {} on {} batch {}",
                 r.engine,
@@ -290,6 +347,9 @@ fn main() {
                 format!("{:.3}", r.retransmitted_kilobits),
                 r.max_skew.to_string(),
                 r.promised_rounds.to_string(),
+                r.audits_run.to_string(),
+                r.integrity_violations.to_string(),
+                r.suspects_quarantined.to_string(),
             ]
         })
         .collect();
@@ -310,6 +370,9 @@ fn main() {
             "retransmitted_kilobits",
             "max_skew",
             "promised_rounds",
+            "audits_run",
+            "integrity_violations",
+            "suspects_quarantined",
         ],
         &csv_rows,
     );

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use kmachine::{
-    BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan, MachineId, RecoveryPlan,
-    RunMetrics, SkewMetrics,
+    AdversaryPlan, AuditMetrics, BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan,
+    MachineId, RecoveryPlan, RunMetrics, SkewMetrics,
 };
 use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
 use knn_workloads::PartitionStrategy;
@@ -66,6 +66,12 @@ pub struct KnnAnswer {
     pub attempts: u32,
     /// Rounds replayed from checkpoints by rejoining machines.
     pub replayed_rounds: u64,
+    /// Byzantine-audit accounting of the answering run(s): digests
+    /// verified, integrity violations caught, semantic audits executed,
+    /// suspects quarantined. Empty without an [`AdversaryPlan`]. In a
+    /// batch's per-query answers this stays empty — the batch reports its
+    /// audit once, on [`BatchAnswer::audit`].
+    pub audit: AuditMetrics,
 }
 
 /// Result of a batched query run: per-query answers plus the aggregate cost
@@ -110,6 +116,10 @@ pub struct BatchAnswer {
     pub attempts: u32,
     /// Rounds replayed from checkpoints by rejoining machines.
     pub replayed_rounds: u64,
+    /// Byzantine-audit accounting summed over the batch's engine run(s).
+    /// Empty without an [`AdversaryPlan`]; identical on every engine and
+    /// pool size.
+    pub audit: AuditMetrics,
 }
 
 /// Builder for [`KnnCluster`].
@@ -236,6 +246,20 @@ impl ClusterBuilder {
     /// [`CoreError::DeadlineExceeded`].
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.opts.retry = retry;
+        self
+    }
+
+    /// Deterministic Byzantine adversary for every query run: machines
+    /// that lie about their candidates, equivocate per receiver, or
+    /// corrupt link payloads (see [`AdversaryPlan`]). Corruption is caught
+    /// by per-link digest chains; lies are caught by the semantic audit
+    /// (claims re-checked against the real shards). Caught machines are
+    /// quarantined and the query re-runs on the honest survivors under the
+    /// [`RetryPolicy`]; the work is reported on [`KnnAnswer::audit`] /
+    /// [`BatchAnswer::audit`]. Elections stay adversary-free, like
+    /// [`Self::faults`].
+    pub fn adversary(mut self, adversary: AdversaryPlan) -> Self {
+        self.opts.adversary = adversary;
         self
     }
 
@@ -381,6 +405,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
             recovered: out.recovery.any(),
             attempts: 1,
             replayed_rounds: out.recovery.replayed_rounds,
+            audit: out.audit,
         })
     }
 
@@ -409,6 +434,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
             recovered: out.recovered,
             attempts: out.attempts,
             replayed_rounds: out.replayed_rounds,
+            audit: out.audit,
         })
     }
 
@@ -481,6 +507,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
                     recovered: q.recovered,
                     attempts: q.attempts,
                     replayed_rounds: 0,
+                    audit: AuditMetrics::default(),
                 }
             })
             .collect();
@@ -497,6 +524,7 @@ impl<P: IndexedPoint> KnnCluster<P> {
             recovered: out.recovered,
             attempts: out.attempts,
             replayed_rounds: out.replayed_rounds,
+            audit: out.audit,
         }
     }
 
@@ -672,6 +700,59 @@ mod tests {
         }
         assert!(!want.recovered);
         assert_eq!(want.replayed_rounds, 0);
+    }
+
+    #[test]
+    fn byzantine_liar_is_caught_through_the_facade() {
+        // Two clusters over the same 3-shard layout: one honest, one with
+        // machine 1 lying. The Byzantine cluster must quarantine the liar
+        // and return exactly the honest survivors' answer, with the audit
+        // work reported.
+        let load = |cluster: &mut KnnCluster<ScalarPoint>| {
+            let mut ids = IdAssigner::new(0);
+            let shards: Vec<Dataset<ScalarPoint>> = (0..3u64)
+                .map(|m| {
+                    Dataset::from_points(
+                        (m * 100..(m + 1) * 100).map(ScalarPoint).collect(),
+                        &mut ids,
+                    )
+                })
+                .collect();
+            cluster.load_shards(shards).unwrap();
+        };
+        let mut byz: KnnCluster<ScalarPoint> = KnnCluster::builder()
+            .machines(3)
+            .seed(3)
+            .adversary(AdversaryPlan::default().with_lie(1, 0))
+            .build();
+        load(&mut byz);
+        let ans = byz.query(&ScalarPoint(150), 5).unwrap();
+        assert!(ans.degraded);
+        assert_eq!(ans.shards_used, 2);
+        assert!(ans.recovered);
+        assert_eq!(ans.audit.suspects_quarantined, 1);
+        assert!(ans.audit.audits_run >= 2);
+        assert!(ans.neighbors.iter().all(|n| n.machine != 1), "liars contribute nothing");
+        // The certified answer is the exact 5-NN of 150 over the honest
+        // survivors' values {0..100} ∪ {200..300}: by (distance, id) that is
+        // 200, 99, 201, 98, 202.
+        assert_eq!(
+            ans.neighbors.iter().map(|n| n.dist.as_u64()).collect::<Vec<_>>(),
+            vec![50, 51, 51, 52, 52]
+        );
+        assert!(ans.neighbors.windows(2).all(|w| (w[0].dist, w[0].id) < (w[1].dist, w[1].id)));
+        let batch = byz.query_batch(&[ScalarPoint(150)], 5).unwrap();
+        assert_eq!(batch.audit.suspects_quarantined, 1);
+        assert_eq!(
+            batch.answers[0].neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+            ans.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+            "sequential and batched Byzantine recovery agree"
+        );
+        assert_eq!(
+            batch.answers[0].audit,
+            AuditMetrics::default(),
+            "per-query copies stay empty; the batch reports its audit once"
+        );
     }
 
     #[test]

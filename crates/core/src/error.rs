@@ -33,6 +33,17 @@ pub enum CoreError {
         /// The policy's round budget.
         deadline_rounds: u64,
     },
+    /// The Byzantine audit could not isolate an honest majority to answer
+    /// from: quarantining every suspect would leave no machine standing
+    /// (every machine's claims failed the audit, or suspects kept failing
+    /// until the cluster emptied). Surfaced instead of returning an answer
+    /// the audit could not certify.
+    AuditFailed {
+        /// Machines the final audit flagged as suspects.
+        suspects: Vec<usize>,
+        /// Machines still alive when the audit gave up.
+        alive: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +65,14 @@ impl fmt::Display for CoreError {
                     f,
                     "retry budget exhausted after {attempts} attempts / {spent_rounds} simulated \
                      rounds (policy: {max_attempts} attempts, {deadline_rounds} rounds)"
+                )
+            }
+            CoreError::AuditFailed { suspects, alive } => {
+                write!(
+                    f,
+                    "audit cannot certify an answer: {} of {alive} alive machines are suspects \
+                     ({suspects:?})",
+                    suspects.len()
                 )
             }
         }
@@ -100,5 +119,13 @@ mod tests {
         assert!(s.contains("3 attempts"), "{s}");
         assert!(s.contains("42"), "{s}");
         assert!(s.contains("40 rounds"), "{s}");
+    }
+
+    #[test]
+    fn audit_failed_reports_suspects_and_survivors() {
+        let e = CoreError::AuditFailed { suspects: vec![0, 2], alive: 2 };
+        let s = e.to_string();
+        assert!(s.contains("2 of 2"), "{s}");
+        assert!(s.contains("[0, 2]"), "{s}");
     }
 }

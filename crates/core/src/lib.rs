@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cluster;
 pub mod error;
 pub mod local;
@@ -72,6 +73,7 @@ pub mod protocols;
 pub mod runner;
 pub mod session;
 
+pub use audit::{audit_claims, AuditReport};
 pub use cluster::{BatchAnswer, ClusterBuilder, KnnAnswer, KnnCluster, Neighbor};
 pub use error::CoreError;
 pub use local::IndexedPoint;

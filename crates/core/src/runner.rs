@@ -6,12 +6,13 @@ use std::time::Duration;
 
 use kmachine::leader::{RandRankFlood, RandRankStar};
 use kmachine::{
-    BandwidthMode, DeliveryMode, Engine, EngineError, FaultMetrics, FaultPlan, MachineId,
-    NetConfig, RecoveryMetrics, RecoveryPlan, RunMetrics, SkewMetrics, ENVELOPE_HEADER_BITS,
-    MUX_TAG_BITS,
+    AdversaryPlan, AuditMetrics, BandwidthMode, DeliveryMode, Engine, EngineError, FaultMetrics,
+    FaultPlan, MachineId, NetConfig, RecoveryMetrics, RecoveryPlan, RunMetrics, SkewMetrics,
+    ENVELOPE_HEADER_BITS, MUX_TAG_BITS,
 };
 use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
+use crate::audit;
 use crate::error::CoreError;
 use crate::local::dist_keys;
 use crate::protocols::approx::ApproxKnnProtocol;
@@ -204,6 +205,16 @@ pub struct QueryOptions {
     pub recovery: RecoveryPlan,
     /// Deadline-bounded retry discipline for crash re-runs.
     pub retry: RetryPolicy,
+    /// Deterministic Byzantine adversary (see [`AdversaryPlan`]): lying
+    /// machines, equivocators, and corrupt links. Arming any of it turns on
+    /// the full defense stack for every query run — chained per-link
+    /// integrity digests at the engine layer, plus a semantic audit of each
+    /// answer against the shard-local oracles at this layer. A caught liar
+    /// or corrupt-link source is **quarantined** and the query re-runs over
+    /// the honest survivors (flagged [`QueryOutcome::degraded`], accounted
+    /// in [`QueryOutcome::audit`]); a wrong answer is never returned
+    /// silently. Elections stay adversary-free, like [`Self::faults`].
+    pub adversary: AdversaryPlan,
 }
 
 impl Default for QueryOptions {
@@ -223,6 +234,7 @@ impl Default for QueryOptions {
             faults: FaultPlan::default(),
             recovery: RecoveryPlan::default(),
             retry: RetryPolicy::default(),
+            adversary: AdversaryPlan::default(),
         }
     }
 }
@@ -243,15 +255,28 @@ impl QueryOptions {
         self.fault_free_config(k)
             .with_faults(self.faults.clone())
             .with_recovery(self.recovery.clone())
+            .with_adversary(self.adversary.clone())
     }
 
     /// Config for a (re)run over the surviving subset `alive` (original
-    /// machine ids, ascending): the fault and recovery plans are projected
-    /// onto the survivors, so the crash that triggered the retry is gone.
+    /// machine ids, ascending): the fault, recovery, and adversary plans
+    /// are projected onto the survivors, so the crash (or quarantined liar)
+    /// that triggered the retry is gone.
     pub(crate) fn subset_config(&self, alive: &[MachineId]) -> NetConfig {
         self.fault_free_config(alive.len())
             .with_faults(self.faults.project(alive))
             .with_recovery(self.recovery.project(alive))
+            .with_adversary(self.adversary.project(alive))
+    }
+
+    /// Whether original machine `m` lies at the *source*: a round-0 liar or
+    /// an equivocator perturbs its materialized local distances (the wire
+    /// tamper alone cannot fake the machine's own self-computed answer
+    /// slice, so scheduled-from-round-0 lying is modeled where the claims
+    /// are actually born). Keyed on the original machine id, so the lie is
+    /// identical across quarantine re-runs and the batched path.
+    pub(crate) fn lies_at_source(&self, m: MachineId) -> bool {
+        self.adversary.equivocates(m) || self.adversary.lie_round(m) == 0
     }
 
     /// Keys per batch message such that one batch fills one link-round.
@@ -316,6 +341,11 @@ pub struct QueryOutcome {
     pub replayed_rounds: u64,
     /// Checkpoint/rejoin accounting of the run that produced the answer.
     pub recovery: RecoveryMetrics,
+    /// Byzantine-audit accounting across the whole quarantine-and-retry
+    /// loop: digests verified by every engine run, integrity violations
+    /// caught, semantic audits executed, and suspects quarantined. Empty on
+    /// adversary-free queries; identical on every engine.
+    pub audit: AuditMetrics,
 }
 
 /// Elect a leader (when requested) and account its cost. The serving layer
@@ -352,6 +382,16 @@ pub(crate) fn elect(
 /// the fault plan projected onto them). The answer is then flagged
 /// [`QueryOutcome::degraded`]. Non-crash faults (a lossy link exhausting
 /// its retry budget) are not retried — they surface as the typed error.
+///
+/// Under a [`QueryOptions::adversary`] plan the query additionally
+/// **recovers from lies**: every successful run's answer is audited
+/// against the shard-local oracles ([`crate::audit::audit_claims`]) before
+/// it is returned, and an engine run killed by a corrupt link
+/// ([`EngineError::IntegrityViolation`]) is treated like a crash of the
+/// corrupting sender. Suspects are quarantined and the query re-runs over
+/// the honest survivors, under the same [`RetryPolicy`] budget; when
+/// quarantining would empty the cluster the typed
+/// [`CoreError::AuditFailed`] surfaces instead of an uncertified answer.
 pub fn run_query<P: Point>(
     shards: &[Dataset<P>],
     query: &P,
@@ -366,10 +406,32 @@ pub fn run_query<P: Point>(
     let (mut leader, election_metrics) = elect(k, opts)?;
     let mut alive: Vec<MachineId> = (0..k).collect();
     let mut retry = RetryState::new();
+    let mut audit_total = AuditMetrics::default();
     loop {
         let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
         match run_query_over(shards, query, ell, algorithm, opts, &alive, sub_leader) {
-            Ok((sub_keys, metrics, skew, wall, faults, recovery, stats)) => {
+            Ok((sub_keys, metrics, skew, wall, faults, recovery, run_audit, stats)) => {
+                audit_total.digests_verified += run_audit.digests_verified;
+                if !opts.adversary.is_empty() {
+                    audit_total.audits_run += 1;
+                    let truth = honest_top(shards, query, ell, opts.metric, &alive, &faults);
+                    let report = audit::audit_claims(&truth, &sub_keys, ell, opts.seed);
+                    if !report.ok {
+                        audit_total.suspects_quarantined += report.suspects.len() as u64;
+                        let suspects: Vec<MachineId> =
+                            report.suspects.iter().map(|&s| alive[s]).collect();
+                        if suspects.len() >= alive.len() {
+                            return Err(CoreError::AuditFailed { suspects, alive: alive.len() });
+                        }
+                        retry.next_attempt(&opts.retry, metrics.rounds)?;
+                        alive.retain(|m| !suspects.contains(m));
+                        if !alive.contains(&leader) {
+                            let (sub, _) = elect(alive.len(), opts)?;
+                            leader = alive[sub];
+                        }
+                        continue;
+                    }
+                }
                 let shards_used = alive.len() - faults.crashed.len();
                 let mut local_keys = vec![Vec::new(); k];
                 for (i, keys) in sub_keys.into_iter().enumerate() {
@@ -390,6 +452,7 @@ pub fn run_query<P: Point>(
                     attempts: retry.attempts,
                     replayed_rounds: recovery.replayed_rounds,
                     recovery,
+                    audit: audit_total,
                 });
             }
             Err(CoreError::Engine(EngineError::Crashed { machine, round, .. }))
@@ -406,9 +469,51 @@ pub fn run_query<P: Point>(
                     leader = alive[sub];
                 }
             }
+            Err(CoreError::Engine(EngineError::IntegrityViolation { src, round, .. }))
+                if alive.len() > 1 =>
+            {
+                // A corrupt link is pinned on its sender: quarantine the
+                // source and retry over the survivors, exactly like a
+                // crash. Projection drops every corrupt-link entry touching
+                // the quarantined machine, so the loop terminates.
+                audit_total.integrity_violations += 1;
+                audit_total.suspects_quarantined += 1;
+                retry.next_attempt(&opts.retry, round)?;
+                let dead = alive.remove(src);
+                if dead == leader {
+                    let (sub, _) = elect(alive.len(), opts)?;
+                    leader = alive[sub];
+                }
+            }
             Err(e) => return Err(e),
         }
     }
+}
+
+/// The audit's shard-local oracles for one subset run: survivor `i`'s true
+/// sorted top-ℓ, recomputed honestly from the real shard — or empty when
+/// the machine crashed in-run (it legitimately contributed nothing).
+fn honest_top<P: Point>(
+    shards: &[Dataset<P>],
+    query: &P,
+    ell: usize,
+    metric: Metric,
+    alive: &[MachineId],
+    faults: &FaultMetrics,
+) -> Vec<Vec<DistKey>> {
+    alive
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| {
+            if faults.crashed.contains(&i) {
+                return Vec::new();
+            }
+            let mut keys = dist_keys(&shards[m].records, query, metric);
+            keys.sort_unstable();
+            keys.truncate(ell);
+            keys
+        })
+        .collect()
 }
 
 /// Everything one subset run yields: per-survivor answer keys (subset
@@ -420,6 +525,7 @@ type SubRun = (
     Duration,
     FaultMetrics,
     RecoveryMetrics,
+    AuditMetrics,
     Option<KnnStats>,
 );
 
@@ -438,11 +544,23 @@ fn run_query_over<P: Point>(
     let cfg = opts.subset_config(alive);
     let metric = opts.metric;
     let ell64 = ell as u64;
+    let adv_seed = opts.adversary.adversary_seed;
 
+    // A round-0 liar (or equivocator) lies where its claims are born: its
+    // materialized local distances are perturbed by the pure seeded stream,
+    // identically on every engine and across quarantine re-runs.
     let source = |i: usize| {
-        let records = &shards[alive[i]].records;
-        Box::new(move || dist_keys(records, query, metric))
-            as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>
+        let m = alive[i];
+        let records = &shards[m].records;
+        let lying = opts.lies_at_source(m);
+        Box::new(move || {
+            let keys = dist_keys(records, query, metric);
+            if lying {
+                audit::perturb_input(keys, adv_seed, m)
+            } else {
+                keys
+            }
+        }) as Box<dyn FnOnce() -> Vec<DistKey> + Send + '_>
     };
 
     match algorithm {
@@ -459,6 +577,7 @@ fn run_query_over<P: Point>(
                 out.wall,
                 out.faults,
                 out.recovery,
+                out.audit,
                 stats,
             ))
         }
@@ -467,16 +586,30 @@ fn run_query_over<P: Point>(
             let protos: Vec<SimpleProtocol<'_, DistKey>> =
                 (0..k).map(|i| SimpleProtocol::new(i, leader, ell64, chunk, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
+            Ok((
+                out.outputs,
+                out.metrics,
+                out.skew,
+                out.wall,
+                out.faults,
+                out.recovery,
+                out.audit,
+                None,
+            ))
         }
         Algorithm::SaukasSong => {
             // Mirror the other baselines: operate on the local top-ℓ
             // candidates (a machine can contribute at most ℓ answers).
             let protos: Vec<SaukasSongProtocol<'_, DistKey>> = (0..k)
                 .map(|i| {
-                    let records = &shards[alive[i]].records;
+                    let m = alive[i];
+                    let records = &shards[m].records;
+                    let lying = opts.lies_at_source(m);
                     let input = Box::new(move || {
                         let mut keys = dist_keys(records, query, metric);
+                        if lying {
+                            keys = audit::perturb_input(keys, adv_seed, m);
+                        }
                         if keys.len() > ell {
                             keys.select_nth_unstable(ell.max(1) - 1);
                             keys.truncate(ell);
@@ -488,13 +621,31 @@ fn run_query_over<P: Point>(
                 })
                 .collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
+            Ok((
+                out.outputs,
+                out.metrics,
+                out.skew,
+                out.wall,
+                out.faults,
+                out.recovery,
+                out.audit,
+                None,
+            ))
         }
         Algorithm::BinSearch => {
             let protos: Vec<BinSearchProtocol<'_, DistKey>> =
                 (0..k).map(|i| BinSearchProtocol::new(i, k, leader, ell64, source(i))).collect();
             let out = opts.engine.run(&cfg, protos)?;
-            Ok((out.outputs, out.metrics, out.skew, out.wall, out.faults, out.recovery, None))
+            Ok((
+                out.outputs,
+                out.metrics,
+                out.skew,
+                out.wall,
+                out.faults,
+                out.recovery,
+                out.audit,
+                None,
+            ))
         }
     }
 }
@@ -527,6 +678,12 @@ pub struct ApproxOutcome {
     /// Checkpoint/rejoin accounting of the run (rejoins under a
     /// [`RecoveryPlan`] work on the approx path too).
     pub recovery: RecoveryMetrics,
+    /// Integrity-digest accounting when an [`AdversaryPlan`] armed the
+    /// links. The approx path runs **unaudited** — it does not inject
+    /// source-level lies and does not quarantine; a corrupt link still
+    /// surfaces as [`EngineError::IntegrityViolation`]. Use the exact path
+    /// when you need the semantic audit.
+    pub audit: AuditMetrics,
 }
 
 /// Run one *approximate* ℓ-NN query: Algorithm 2's sampling + pruning
@@ -567,6 +724,7 @@ pub fn run_approx_query<P: Point>(
         election_metrics,
         faults: out.faults,
         recovery: out.recovery,
+        audit: out.audit,
     })
 }
 
@@ -806,6 +964,164 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(tiny.simple_chunk(), 1);
+    }
+
+    /// Shards holding contiguous value ranges, so tests can aim queries at
+    /// (or away from) a specific machine's points.
+    fn range_shards(ranges: &[std::ops::Range<u64>]) -> Vec<Dataset<ScalarPoint>> {
+        let mut ids = IdAssigner::new(0);
+        ranges
+            .iter()
+            .map(|r| Dataset::from_points(r.clone().map(ScalarPoint).collect(), &mut ids))
+            .collect()
+    }
+
+    fn answer_of(local_keys: &[Vec<DistKey>]) -> Vec<DistKey> {
+        merge_answers(local_keys).into_iter().map(|(key, _)| key).collect()
+    }
+
+    #[test]
+    fn liar_is_quarantined_and_answer_matches_survivors_for_every_algorithm() {
+        // Machine 1 owns the query's whole neighborhood, so its round-0 lie
+        // is always material: the audit must catch it, quarantine it, and
+        // certify the re-run over the honest survivors.
+        let sh = range_shards(&[0..100, 100..200, 200..300, 300..400]);
+        let q = ScalarPoint(150);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let survivors: Vec<_> =
+            sh.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, d)| d.clone()).collect();
+        for algo in Algorithm::ALL {
+            let out = run_query(&sh, &q, 6, algo, &opts).unwrap();
+            assert!(out.degraded, "{algo:?}");
+            assert_eq!(out.shards_used, 3, "{algo:?}");
+            assert!(out.recovered, "{algo:?}");
+            assert_eq!(out.attempts, 2, "{algo:?}: one audited failure, one certified re-run");
+            assert_eq!(out.audit.audits_run, 2, "{algo:?}");
+            assert_eq!(out.audit.suspects_quarantined, 1, "{algo:?}");
+            assert!(out.local_keys[1].is_empty(), "{algo:?}: the liar contributes nothing");
+            let want = run_query(&survivors, &q, 6, algo, &QueryOptions::default()).unwrap();
+            assert_eq!(answer_of(&out.local_keys), answer_of(&want.local_keys), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn equivocator_is_caught_like_a_round_zero_liar() {
+        let sh = range_shards(&[0..100, 100..200, 200..300]);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_equivocate(2),
+            ..Default::default()
+        };
+        let out = run_query(&sh, &ScalarPoint(250), 5, Algorithm::Knn, &opts).unwrap();
+        assert!(out.degraded);
+        assert_eq!(out.audit.suspects_quarantined, 1);
+        assert!(out.local_keys[2].is_empty());
+    }
+
+    #[test]
+    fn immaterial_lie_passes_the_audit_with_a_certified_answer() {
+        // The liar's points are nowhere near the query: inflating them
+        // changes nothing the selection sees, the claims equal the honest
+        // truth, and the audit certifies the first run.
+        let sh = range_shards(&[0..100, 10_000..10_100, 100..200]);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let out = run_query(&sh, &ScalarPoint(50), 5, Algorithm::Knn, &opts).unwrap();
+        assert!(!out.degraded);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.audit.audits_run, 1);
+        assert_eq!(out.audit.suspects_quarantined, 0);
+        let want =
+            run_query(&sh, &ScalarPoint(50), 5, Algorithm::Knn, &QueryOptions::default()).unwrap();
+        assert_eq!(answer_of(&out.local_keys), answer_of(&want.local_keys));
+    }
+
+    #[test]
+    fn everyone_lying_surfaces_audit_failed() {
+        // Both machines own part of the answer and both lie: quarantining
+        // every suspect would empty the cluster, so no certifiable answer
+        // exists — the typed error surfaces instead of a wrong answer.
+        let sh = range_shards(&[0..50, 50..100]);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(0, 0).with_lie(1, 0),
+            ..Default::default()
+        };
+        let err = run_query(&sh, &ScalarPoint(50), 6, Algorithm::Knn, &opts).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::AuditFailed { suspects, alive: 2 } if suspects.len() == 2),
+            "want AuditFailed naming both liars, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_link_quarantines_the_sender() {
+        let sh = range_shards(&[0..100, 100..200, 200..300]);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_corrupt_link(1, 0, 1000),
+            ..Default::default()
+        };
+        let out = run_query(&sh, &ScalarPoint(150), 5, Algorithm::Knn, &opts).unwrap();
+        assert_eq!(out.audit.integrity_violations, 1, "the digest chain catches the corruption");
+        assert_eq!(out.audit.suspects_quarantined, 1);
+        assert!(out.degraded);
+        assert!(out.local_keys[1].is_empty(), "the corrupting sender is quarantined");
+        let survivors: Vec<_> =
+            sh.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, d)| d.clone()).collect();
+        let want =
+            run_query(&survivors, &ScalarPoint(150), 5, Algorithm::Knn, &QueryOptions::default())
+                .unwrap();
+        assert_eq!(answer_of(&out.local_keys), answer_of(&want.local_keys));
+    }
+
+    #[test]
+    fn adversarial_recovery_is_engine_invariant() {
+        let sh = range_shards(&[0..100, 100..200, 200..300, 300..400]);
+        let q = ScalarPoint(150);
+        let mk = |engine| QueryOptions {
+            engine,
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let reference = run_query(&sh, &q, 6, Algorithm::Knn, &mk(Engine::Sync)).unwrap();
+        assert_eq!(reference.audit.suspects_quarantined, 1);
+        for engine in [Engine::Threaded, Engine::Event, Engine::Auto] {
+            let out = run_query(&sh, &q, 6, Algorithm::Knn, &mk(engine)).unwrap();
+            assert_eq!(out.local_keys, reference.local_keys, "{engine:?}");
+            assert_eq!(out.metrics, reference.metrics, "{engine:?}");
+            assert_eq!(out.audit, reference.audit, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn approx_path_is_unaudited_but_integrity_checked() {
+        let sh = range_shards(&[0..200, 200..400, 400..600]);
+        // A lie plan does not perturb the approx path (its supersets are
+        // not the partition the audit certifies), so the answer matches the
+        // adversary-free run and no audits are counted.
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let out = run_approx_query(&sh, &ScalarPoint(300), 10, &opts).unwrap();
+        let clean = run_approx_query(&sh, &ScalarPoint(300), 10, &QueryOptions::default()).unwrap();
+        assert_eq!(out.local_keys, clean.local_keys);
+        assert_eq!(out.audit.audits_run, 0);
+        assert_eq!(out.audit.suspects_quarantined, 0);
+        assert!(out.audit.digests_verified > 0, "armed links still verify digests");
+        // A corrupt link is still a typed error — never a silent wrong answer.
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_corrupt_link(1, 0, 1000),
+            ..Default::default()
+        };
+        let err = run_approx_query(&sh, &ScalarPoint(300), 10, &opts).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Engine(EngineError::IntegrityViolation { src: 1, .. })),
+            "want IntegrityViolation pinned on the sender, got {err:?}"
+        );
     }
 
     #[test]

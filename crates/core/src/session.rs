@@ -35,11 +35,12 @@ use std::time::Duration;
 
 use kmachine::mux::{MuxOutput, MuxProtocol};
 use kmachine::{
-    EngineError, FaultMetrics, MachineId, Protocol, RecoveryMetrics, RunMetrics, SkewMetrics,
-    TagMetrics,
+    AuditMetrics, EngineError, FaultMetrics, MachineId, Protocol, RecoveryMetrics, RunMetrics,
+    SkewMetrics, TagMetrics,
 };
 use knn_points::{Dataset, DistKey, Metric};
 
+use crate::audit;
 use crate::error::CoreError;
 use crate::local::IndexedPoint;
 use crate::protocols::approx::ApproxKnnProtocol;
@@ -118,6 +119,11 @@ pub struct BatchOutcome {
     pub replayed_rounds: u64,
     /// Checkpoint/rejoin accounting of the final engine run.
     pub recovery: RecoveryMetrics,
+    /// Byzantine-audit accounting summed over every engine run of the
+    /// batch: digests verified, integrity violations caught, per-query
+    /// semantic audits executed, and suspects quarantined. Empty on
+    /// adversary-free batches; identical on every engine and pool size.
+    pub audit: AuditMetrics,
 }
 
 /// How one protocol instance is wired into a (possibly degraded) batch
@@ -198,8 +204,35 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         &self.opts
     }
 
-    /// This machine's indexed top-ℓ candidate source for one query.
+    /// This machine's indexed top-ℓ candidate source for one query. Under
+    /// an adversary plan, a round-0 liar (or equivocator) perturbs the
+    /// candidates it materializes — the same pure seeded lie the sequential
+    /// path injects, keyed on the original machine id.
     fn source<'b>(&'b self, machine: usize, query: &'b P, ell: usize) -> KeySource<'b, DistKey> {
+        let records = &self.shards[machine].records;
+        let index = &self.indices[machine];
+        let metric: Metric = self.opts.metric;
+        let lying = self.opts.lies_at_source(machine);
+        let adv_seed = self.opts.adversary.adversary_seed;
+        Box::new(move || {
+            let keys = P::index_top(index, records, query, ell, metric);
+            if lying {
+                audit::perturb_input(keys, adv_seed, machine)
+            } else {
+                keys
+            }
+        })
+    }
+
+    /// This machine's indexed top-ℓ candidate source with no adversarial
+    /// perturbation. The approx path uses it: superset answers are not the
+    /// exact partition the audit certifies, so no lies are injected there.
+    fn source_honest<'b>(
+        &'b self,
+        machine: usize,
+        query: &'b P,
+        ell: usize,
+    ) -> KeySource<'b, DistKey> {
         let records = &self.shards[machine].records;
         let index = &self.indices[machine];
         let metric: Metric = self.opts.metric;
@@ -220,6 +253,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         match algorithm {
             Algorithm::Knn => self.run_mux(
                 queries,
+                Some(ell),
                 |w: Wiring, q| {
                     KnnProtocol::new(w.id, w.k, w.leader, ell64, self.opts.params, {
                         self.source(w.shard, q, ell)
@@ -241,6 +275,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 let chunk = self.opts.mux_chunk();
                 self.run_mux(
                     queries,
+                    Some(ell),
                     |w: Wiring, q| {
                         SimpleProtocol::new(w.id, w.leader, ell64, chunk, {
                             self.source(w.shard, q, ell)
@@ -251,6 +286,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             }
             Algorithm::SaukasSong => self.run_mux(
                 queries,
+                Some(ell),
                 |w: Wiring, q| {
                     SaukasSongProtocol::new(
                         w.id,
@@ -264,6 +300,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             ),
             Algorithm::BinSearch => self.run_mux(
                 queries,
+                Some(ell),
                 |w: Wiring, q| {
                     BinSearchProtocol::new(w.id, w.k, w.leader, ell64, self.source(w.shard, q, ell))
                 },
@@ -274,12 +311,18 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
 
     /// Answer `queries` approximately (pruning-only supersets, see
     /// [`crate::protocols::approx`]) in one multiplexed engine run.
+    ///
+    /// The approx path runs **unaudited** (`audit_ell = None`): its answers
+    /// are supersets, not the exact partition the semantic audit certifies.
+    /// It also injects no source-level lies; corrupt links still surface as
+    /// [`kmachine::EngineError::IntegrityViolation`].
     pub fn run_batch_approx(&self, queries: &[P], ell: usize) -> Result<BatchOutcome, CoreError> {
         self.run_mux(
             queries,
+            None,
             |w: Wiring, q| {
                 ApproxKnnProtocol::new(w.id, w.k, w.leader, ell as u64, self.opts.params, {
-                    self.source(w.shard, q, ell)
+                    self.source_honest(w.shard, q, ell)
                 })
             },
             |outs, j, leader| {
@@ -311,9 +354,24 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
     /// casualty, and the re-run counts against the session's
     /// [`crate::runner::RetryPolicy`]. The outcome is then flagged
     /// [`BatchOutcome::degraded`].
+    ///
+    /// When `audit_ell` is `Some(ℓ)` and the session has an adversary plan,
+    /// every completed query is **audited before it is kept**: its claimed
+    /// per-machine contributions are checked against the true ℓ-NN
+    /// partition recomputed from the real shards
+    /// ([`crate::audit::audit_claims`]). Queries that fail the audit are
+    /// treated like lost queries — the named suspects are quarantined
+    /// alongside any crashed machines and the queries re-run on the honest
+    /// survivors — so a wrong answer is never stored, not even one answered
+    /// by a machine only caught lying on a *later* query of the same batch.
+    /// [`CoreError::AuditFailed`] surfaces when quarantining would leave no
+    /// machine standing. An [`EngineError::IntegrityViolation`] (corrupt
+    /// link caught by the digest chain) quarantines the sending machine the
+    /// same way.
     fn run_mux<'q, Proto, F, G>(
         &'q self,
         queries: &'q [P],
+        audit_ell: Option<usize>,
         build: F,
         extract: G,
     ) -> Result<BatchOutcome, CoreError>
@@ -337,6 +395,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         let mut done: Vec<Option<BatchQueryOutcome>> = (0..queries.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..queries.len()).collect();
         let mut replayed_rounds = 0u64;
+        let mut audit_total = AuditMetrics::default();
         loop {
             let sub_leader = alive.iter().position(|&m| m == leader).expect("leader is alive");
             let cfg = self.opts.subset_config(&alive);
@@ -348,25 +407,57 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                 .collect();
             match self.opts.engine.run(&cfg, protos) {
                 Ok(out) => {
-                    let kmachine::RunOutcome { mut outputs, metrics, skew, wall, faults, recovery } =
-                        out;
+                    let kmachine::RunOutcome {
+                        mut outputs,
+                        metrics,
+                        skew,
+                        wall,
+                        faults,
+                        recovery,
+                        audit: run_audit,
+                    } = out;
                     replayed_rounds += recovery.replayed_rounds;
+                    audit_total.digests_verified += run_audit.digests_verified;
                     // A pending query is LOST when any machine's mux output
                     // has a hole at its tag: a crashed machine died holding
                     // that query's contribution.
                     let lost_at = |p: usize, outs: &[MuxOutput<Proto::Output>]| {
                         outs.iter().any(|mux| mux.outputs[p].is_none())
                     };
-                    let lost: Vec<usize> = (0..pending.len())
-                        .filter(|&p| lost_at(p, &outputs))
-                        .map(|p| pending[p])
-                        .collect();
+                    let mut lost: Vec<usize> = Vec::new();
+                    let mut suspects: Vec<MachineId> = Vec::new();
                     for (p, &j) in pending.iter().enumerate() {
                         if lost_at(p, &outputs) {
+                            lost.push(j);
                             continue;
                         }
                         let (sub_keys, stats, approx_total, contains_exact) =
                             extract(&mut outputs, p, sub_leader);
+                        if let (Some(ell), false) = (audit_ell, self.opts.adversary.is_empty()) {
+                            audit_total.audits_run += 1;
+                            // Ground truth over the audited topology: every
+                            // completed query had every alive machine's
+                            // instance finish, so no crash exclusion applies.
+                            let truth: Vec<Vec<DistKey>> = alive
+                                .iter()
+                                .map(|&m| {
+                                    P::index_top(
+                                        &self.indices[m],
+                                        &self.shards[m].records,
+                                        &queries[j],
+                                        ell,
+                                        self.opts.metric,
+                                    )
+                                })
+                                .collect();
+                            let report =
+                                audit::audit_claims(&truth, &sub_keys, ell, self.opts.seed);
+                            if !report.ok {
+                                lost.push(j);
+                                suspects.extend(report.suspects.iter().map(|&s| alive[s]));
+                                continue;
+                            }
+                        }
                         let mut local_keys = vec![Vec::new(); k];
                         for (i, keys) in sub_keys.into_iter().enumerate() {
                             local_keys[alive[i]] = keys;
@@ -386,6 +477,9 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                             recovered: retry.attempts > 1,
                         });
                     }
+                    suspects.sort_unstable();
+                    suspects.dedup();
+                    audit_total.suspects_quarantined += suspects.len() as u64;
                     if lost.is_empty() {
                         let shards_used = alive.len() - faults.crashed.len();
                         return Ok(BatchOutcome {
@@ -405,15 +499,27 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                             attempts: retry.attempts,
                             replayed_rounds,
                             recovery,
+                            audit: audit_total,
                         });
                     }
                     retry.next_attempt(&self.opts.retry, metrics.rounds)?;
-                    let dead: Vec<MachineId> = faults.crashed.iter().map(|&c| alive[c]).collect();
+                    let mut dead: Vec<MachineId> =
+                        faults.crashed.iter().map(|&c| alive[c]).collect();
+                    dead.extend(suspects.iter().copied());
+                    dead.sort_unstable();
+                    dead.dedup();
+                    if dead.len() >= alive.len() && !suspects.is_empty() {
+                        // Quarantining every suspect (plus the crashed)
+                        // leaves nobody to answer from: no certifiable
+                        // answer exists.
+                        return Err(CoreError::AuditFailed { suspects, alive: alive.len() });
+                    }
                     alive.retain(|mid| !dead.contains(mid));
                     if alive.is_empty() || dead.is_empty() {
                         // Holes without a usable survivor topology (or —
-                        // impossibly — without a crash): surface the crash
-                        // instead of looping on an unanswerable plan.
+                        // impossibly — without a crash or a suspect):
+                        // surface the crash instead of looping on an
+                        // unanswerable plan.
                         let machine = dead.first().copied().unwrap_or(0);
                         return Err(EngineError::Crashed { machine, round: metrics.rounds }.into());
                     }
@@ -427,6 +533,18 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                     retry.next_attempt(&self.opts.retry, round)?;
                     // `machine` indexes the failed run's subset.
                     let dead = alive.remove(machine);
+                    if dead == leader {
+                        let (sub, _) = elect(alive.len(), &self.opts)?;
+                        leader = alive[sub];
+                    }
+                }
+                Err(EngineError::IntegrityViolation { src, round, .. }) if alive.len() > 1 => {
+                    // The digest chain pins the corruption on the sender:
+                    // quarantine it and re-run every still-pending query.
+                    audit_total.integrity_violations += 1;
+                    audit_total.suspects_quarantined += 1;
+                    retry.next_attempt(&self.opts.retry, round)?;
+                    let dead = alive.remove(src);
                     if dead == leader {
                         let (sub, _) = elect(alive.len(), &self.opts)?;
                         leader = alive[sub];
@@ -452,6 +570,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
             attempts: 1,
             replayed_rounds: 0,
             recovery: RecoveryMetrics::default(),
+            audit: AuditMetrics::default(),
         }
     }
 }
@@ -687,6 +806,161 @@ mod tests {
                 assert!(batch.degraded, "a re-planned batch lost a shard");
             }
         }
+    }
+
+    /// Shards holding contiguous value ranges, so tests can aim queries at
+    /// (or away from) a specific machine's points.
+    fn range_shards(ranges: &[std::ops::Range<u64>]) -> Vec<Dataset<ScalarPoint>> {
+        use knn_points::IdAssigner;
+        let mut ids = IdAssigner::new(0);
+        ranges
+            .iter()
+            .map(|r| Dataset::from_points(r.clone().map(ScalarPoint).collect(), &mut ids))
+            .collect()
+    }
+
+    fn answer_of(local_keys: &[Vec<DistKey>]) -> Vec<DistKey> {
+        merge_answers(local_keys).iter().map(|&(key, _)| key).collect()
+    }
+
+    #[test]
+    fn batch_quarantines_a_liar_and_reruns_only_the_poisoned_queries() {
+        use kmachine::AdversaryPlan;
+        // Machine 1 lies. Query 0's neighborhood lives entirely on the
+        // honest machines — the lie is immaterial there, the audit passes,
+        // and the first run's answer is kept *certified*. Query 1's
+        // neighborhood lives on the liar — the audit fails it, quarantines
+        // machine 1, and re-runs only query 1 on the honest survivors. A
+        // query answered by a machine caught lying later in the same batch
+        // is thus never kept unaudited.
+        let sh = range_shards(&[0..100, 10_000..10_100, 100..200]);
+        let idx = indices(&sh);
+        let queries = [ScalarPoint(50), ScalarPoint(10_050)];
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let batch = QuerySession::new(&sh, &idx, opts)
+            .unwrap()
+            .run_batch(&queries, 4, Algorithm::Knn)
+            .unwrap();
+        assert!(batch.degraded);
+        assert_eq!(batch.attempts, 2);
+        assert_eq!(batch.audit.suspects_quarantined, 1);
+        assert_eq!(batch.audit.audits_run, 3, "two audits in run 1, one in the re-run");
+        assert!(batch.audit.digests_verified > 0);
+        // Query 0: certified on the first run, against the full cluster.
+        assert_eq!(batch.queries[0].attempts, 1);
+        assert!(!batch.queries[0].recovered);
+        let full = QuerySession::new(&sh, &idx, QueryOptions::default())
+            .unwrap()
+            .run_batch(&queries[..1], 4, Algorithm::Knn)
+            .unwrap();
+        assert_eq!(answer_of(&batch.queries[0].local_keys), answer_of(&full.queries[0].local_keys));
+        // Query 1: re-run on the honest survivors.
+        assert_eq!(batch.queries[1].attempts, 2);
+        assert!(batch.queries[1].recovered);
+        assert!(batch.queries[1].local_keys[1].is_empty(), "the liar contributes nothing");
+        let sh_sur: Vec<_> =
+            sh.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, d)| d.clone()).collect();
+        let idx_sur = indices(&sh_sur);
+        let sur = QuerySession::new(&sh_sur, &idx_sur, QueryOptions::default())
+            .unwrap()
+            .run_batch(&queries[1..], 4, Algorithm::Knn)
+            .unwrap();
+        assert_eq!(answer_of(&batch.queries[1].local_keys), answer_of(&sur.queries[0].local_keys));
+    }
+
+    #[test]
+    fn batch_audit_failure_is_typed_when_everyone_lies() {
+        use kmachine::AdversaryPlan;
+        let sh = range_shards(&[0..50, 50..100]);
+        let idx = indices(&sh);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(0, 0).with_lie(1, 0),
+            ..Default::default()
+        };
+        let err = QuerySession::new(&sh, &idx, opts)
+            .unwrap()
+            .run_batch(&[ScalarPoint(50)], 6, Algorithm::Knn)
+            .unwrap_err();
+        assert!(
+            matches!(&err, CoreError::AuditFailed { suspects, alive: 2 } if suspects.len() == 2),
+            "want AuditFailed naming both liars, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn batch_corrupt_link_quarantines_the_sender() {
+        use kmachine::AdversaryPlan;
+        let sh = range_shards(&[0..100, 100..200, 200..300]);
+        let idx = indices(&sh);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_corrupt_link(2, 0, 1000),
+            ..Default::default()
+        };
+        let batch = QuerySession::new(&sh, &idx, opts)
+            .unwrap()
+            .run_batch(&[ScalarPoint(150), ScalarPoint(250)], 4, Algorithm::Simple)
+            .unwrap();
+        assert_eq!(batch.audit.integrity_violations, 1);
+        assert_eq!(batch.audit.suspects_quarantined, 1);
+        assert!(batch.degraded);
+        for bq in &batch.queries {
+            assert!(bq.local_keys[2].is_empty(), "the corrupting sender is quarantined");
+        }
+    }
+
+    #[test]
+    fn adversarial_batch_is_engine_invariant_including_audit_metrics() {
+        use kmachine::{AdversaryPlan, Engine};
+        let sh = range_shards(&[0..100, 100..200, 200..300, 300..400]);
+        let idx = indices(&sh);
+        let queries = [ScalarPoint(150), ScalarPoint(350)];
+        let mk = |engine| QueryOptions {
+            engine,
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let reference = QuerySession::new(&sh, &idx, mk(Engine::Sync))
+            .unwrap()
+            .run_batch(&queries, 5, Algorithm::Knn)
+            .unwrap();
+        assert_eq!(reference.audit.suspects_quarantined, 1);
+        for engine in [Engine::Threaded, Engine::Event, Engine::Auto] {
+            let batch = QuerySession::new(&sh, &idx, mk(engine))
+                .unwrap()
+                .run_batch(&queries, 5, Algorithm::Knn)
+                .unwrap();
+            assert_eq!(batch.metrics, reference.metrics, "{engine:?}");
+            assert_eq!(batch.audit, reference.audit, "{engine:?}");
+            for (got, want) in batch.queries.iter().zip(&reference.queries) {
+                assert_eq!(got.local_keys, want.local_keys, "{engine:?}");
+                assert_eq!(got.attempts, want.attempts, "{engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_approx_is_unaudited_under_a_lie_plan() {
+        use kmachine::AdversaryPlan;
+        let sh = range_shards(&[0..200, 200..400, 400..600]);
+        let idx = indices(&sh);
+        let opts = QueryOptions {
+            adversary: AdversaryPlan::default().with_lie(1, 0),
+            ..Default::default()
+        };
+        let queries = [ScalarPoint(300)];
+        let batch =
+            QuerySession::new(&sh, &idx, opts).unwrap().run_batch_approx(&queries, 10).unwrap();
+        let clean = QuerySession::new(&sh, &idx, QueryOptions::default())
+            .unwrap()
+            .run_batch_approx(&queries, 10)
+            .unwrap();
+        assert_eq!(batch.queries[0].local_keys, clean.queries[0].local_keys);
+        assert_eq!(batch.audit.audits_run, 0);
+        assert_eq!(batch.audit.suspects_quarantined, 0);
+        assert!(batch.audit.digests_verified > 0, "armed links still verify digests");
     }
 
     #[test]

@@ -200,6 +200,132 @@ impl FaultPlan {
     }
 }
 
+/// Deterministic Byzantine-fault plan: which machines *lie*, which links
+/// corrupt payloads in flight, and which machines equivocate.
+///
+/// Everything here is seeded and pure, mirroring [`FaultPlan`]: two runs
+/// with the same plan inject byte-identical wrong-answer faults on every
+/// engine and at every pool size. The three fault families are
+///
+/// * **Lies** — `(machine, round)`: from `round` on, the machine perturbs
+///   the candidate distances/ids it announces (a lie scheduled for round 0
+///   also poisons the machine's materialized input, so its *output claims*
+///   are wrong too — the case the query-layer audit can blame soundly).
+///   Wire-level perturbation goes through [`crate::Payload::tamper`].
+/// * **Link corruption** — `(src, dst, per_mille)`: fully-transmitted
+///   messages on the ordered link `src → dst` are bit-flipped in flight
+///   with the given probability. The decision is a pure splitmix64 roll
+///   (same scheme as [`FaultPlan`] loss), so all three engines corrupt the
+///   *same* messages; the flip lands on the link-layer integrity digest
+///   and is caught at delivery as
+///   [`crate::EngineError::IntegrityViolation`].
+/// * **Equivocation** — the machine's lies additionally vary *per
+///   destination*: different peers receive different fabrications.
+///
+/// Lying machines compute valid digests over their lies — integrity
+/// checking cannot catch them. Detecting them is the job of the semantic
+/// audit in the query layer (`knn-core`), which recomputes claims against
+/// the shard-local oracles and quarantines suspects.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdversaryPlan {
+    /// `(machine, round)` lying injections: the machine perturbs what it
+    /// announces from `round` on (round 0: its materialized input too).
+    pub lies: Vec<(crate::message::MachineId, u64)>,
+    /// `(src, dst, per_mille)` in-flight corruption rates per ordered link
+    /// (0 = clean, 1000 = every message corrupted).
+    pub corrupt_links: Vec<(crate::message::MachineId, crate::message::MachineId, u16)>,
+    /// Machines whose lies vary per destination.
+    pub equivocators: Vec<crate::message::MachineId>,
+    /// Seed of the lie/corruption processes, independent of
+    /// [`NetConfig::seed`] so the same workload replays under different
+    /// adversary draws.
+    pub adversary_seed: u64,
+}
+
+impl AdversaryPlan {
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.lies.is_empty() && self.corrupt_links.is_empty() && self.equivocators.is_empty()
+    }
+
+    /// Round from which `machine` lies (`u64::MAX`: honest forever).
+    pub fn lie_round(&self, machine: crate::message::MachineId) -> u64 {
+        self.lies.iter().filter(|(m, _)| *m == machine).map(|&(_, r)| r).min().unwrap_or(u64::MAX)
+    }
+
+    /// Whether `machine` equivocates (per-destination lies).
+    pub fn equivocates(&self, machine: crate::message::MachineId) -> bool {
+        self.equivocators.contains(&machine)
+    }
+
+    /// Corruption rate of the ordered link `src → dst` in thousandths.
+    pub fn corrupt_per_mille(
+        &self,
+        src: crate::message::MachineId,
+        dst: crate::message::MachineId,
+    ) -> u16 {
+        self.corrupt_links
+            .iter()
+            .filter(|&&(s, d, _)| s == src && d == dst)
+            .map(|&(_, _, p)| p)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Add a lying machine (perturbs announced candidates from `round` on).
+    pub fn with_lie(mut self, machine: crate::message::MachineId, round: u64) -> Self {
+        self.lies.push((machine, round));
+        self
+    }
+
+    /// Add an in-flight corruption rate for the ordered link `src → dst`.
+    ///
+    /// Values above 1000 (100% corruption) are kept as-is and rejected with
+    /// [`EngineError::InvalidPlan`](crate::EngineError::InvalidPlan) when
+    /// the plan is validated at engine entry.
+    pub fn with_corrupt_link(
+        mut self,
+        src: crate::message::MachineId,
+        dst: crate::message::MachineId,
+        per_mille: u16,
+    ) -> Self {
+        self.corrupt_links.push((src, dst, per_mille));
+        self
+    }
+
+    /// Mark `machine` as an equivocator (its lies vary per destination).
+    pub fn with_equivocate(mut self, machine: crate::message::MachineId) -> Self {
+        self.equivocators.push(machine);
+        self
+    }
+
+    /// Set the adversary seed.
+    pub fn with_adversary_seed(mut self, seed: u64) -> Self {
+        self.adversary_seed = seed;
+        self
+    }
+
+    /// Project the plan onto the surviving subset `alive` (original machine
+    /// ids, ascending), mirroring [`FaultPlan::project`]: entries touching
+    /// machines outside `alive` are dropped, the rest are remapped to the
+    /// subset's indices. A corrupt-link entry is dropped when *either*
+    /// endpoint was quarantined — this is what makes quarantine-and-retry
+    /// terminate.
+    pub fn project(&self, alive: &[crate::message::MachineId]) -> AdversaryPlan {
+        let remap = |m: crate::message::MachineId| alive.iter().position(|&a| a == m);
+        AdversaryPlan {
+            lies: self.lies.iter().filter_map(|&(m, r)| remap(m).map(|i| (i, r))).collect(),
+            corrupt_links: self
+                .corrupt_links
+                .iter()
+                .filter_map(|&(s, d, p)| Some((remap(s)?, remap(d)?, p)))
+                .collect(),
+            equivocators: self.equivocators.iter().filter_map(|&m| remap(m)).collect(),
+            adversary_seed: self.adversary_seed,
+        }
+    }
+}
+
 /// Default number of rounds of per-link transports a rejoining machine's
 /// replay window may span (see [`RecoveryPlan::retention`]).
 pub const DEFAULT_RETENTION_ROUNDS: u64 = 64;
@@ -353,6 +479,10 @@ pub struct NetConfig {
     /// [`RecoveryPlan`].
     #[serde(default)]
     pub recovery: RecoveryPlan,
+    /// Deterministic Byzantine-fault plan (default: everyone honest). See
+    /// [`AdversaryPlan`].
+    #[serde(default)]
+    pub adversary: AdversaryPlan,
 }
 
 /// Default event-engine run-ahead window: deep enough to absorb scheduling
@@ -374,6 +504,7 @@ impl NetConfig {
             delivery: DeliveryMode::Exact,
             faults: FaultPlan::default(),
             recovery: RecoveryPlan::default(),
+            adversary: AdversaryPlan::default(),
         }
     }
 
@@ -429,6 +560,38 @@ impl NetConfig {
     /// Set the crash-recovery plan (see [`RecoveryPlan`]).
     pub fn with_recovery(mut self, recovery: RecoveryPlan) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Set the Byzantine-fault plan (see [`AdversaryPlan`]).
+    pub fn with_adversary(mut self, adversary: AdversaryPlan) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Add one lying machine to the adversary plan (see
+    /// [`AdversaryPlan::with_lie`]).
+    pub fn with_lie(mut self, machine: crate::message::MachineId, round: u64) -> Self {
+        self.adversary = std::mem::take(&mut self.adversary).with_lie(machine, round);
+        self
+    }
+
+    /// Add one in-flight corruption rate to the adversary plan (see
+    /// [`AdversaryPlan::with_corrupt_link`]).
+    pub fn with_corrupt_link(
+        mut self,
+        src: crate::message::MachineId,
+        dst: crate::message::MachineId,
+        per_mille: u16,
+    ) -> Self {
+        self.adversary = std::mem::take(&mut self.adversary).with_corrupt_link(src, dst, per_mille);
+        self
+    }
+
+    /// Mark one machine as an equivocator in the adversary plan (see
+    /// [`AdversaryPlan::with_equivocate`]).
+    pub fn with_equivocate(mut self, machine: crate::message::MachineId) -> Self {
+        self.adversary = std::mem::take(&mut self.adversary).with_equivocate(machine);
         self
     }
 
@@ -571,6 +734,60 @@ mod tests {
         assert_eq!(sub.rejoins, vec![(2, 2, 5)]);
         assert_eq!(sub.checkpoint_interval, plan.checkpoint_interval);
         assert_eq!(sub.retention, plan.retention);
+    }
+
+    #[test]
+    fn adversary_plan_defaults_builders_and_lookups() {
+        let cfg = NetConfig::new(3);
+        assert!(cfg.adversary.is_empty());
+        assert_eq!(cfg.adversary.lie_round(0), u64::MAX);
+        assert_eq!(cfg.adversary.corrupt_per_mille(0, 1), 0);
+        assert!(!cfg.adversary.equivocates(2));
+
+        let plan = AdversaryPlan::default()
+            .with_lie(1, 4)
+            .with_corrupt_link(0, 2, 75)
+            .with_equivocate(2)
+            .with_adversary_seed(99);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.lie_round(1), 4);
+        assert_eq!(plan.lie_round(0), u64::MAX);
+        assert_eq!(plan.corrupt_per_mille(0, 2), 75);
+        assert_eq!(plan.corrupt_per_mille(2, 0), 0, "corruption is per ordered link");
+        assert!(plan.equivocates(2));
+        assert_eq!(plan.adversary_seed, 99);
+        // Multiple lie entries for one machine: the earliest wins.
+        let plan = plan.with_lie(1, 2);
+        assert_eq!(plan.lie_round(1), 2);
+        let cfg = NetConfig::new(4).with_adversary(plan.clone());
+        assert_eq!(cfg.adversary, plan);
+        // NetConfig convenience builders compose onto the plan in place.
+        let cfg = NetConfig::new(4).with_lie(0, 1).with_corrupt_link(1, 2, 10).with_equivocate(0);
+        assert_eq!(cfg.adversary.lie_round(0), 1);
+        assert_eq!(cfg.adversary.corrupt_per_mille(1, 2), 10);
+        assert!(cfg.adversary.equivocates(0));
+    }
+
+    #[test]
+    fn adversary_plan_projection_drops_and_remaps() {
+        let plan = AdversaryPlan::default()
+            .with_lie(1, 3)
+            .with_lie(3, 0)
+            .with_corrupt_link(0, 1, 50)
+            .with_corrupt_link(0, 3, 60)
+            .with_corrupt_link(3, 2, 70)
+            .with_equivocate(1)
+            .with_equivocate(3)
+            .with_adversary_seed(5);
+        // Machine 1 was quarantined; 0, 2, 3 survive as 0, 1, 2.
+        let sub = plan.project(&[0, 2, 3]);
+        assert_eq!(sub.lies, vec![(2, 0)]);
+        assert_eq!(sub.corrupt_links, vec![(0, 2, 60), (2, 1, 70)]);
+        assert_eq!(sub.equivocators, vec![2]);
+        assert_eq!(sub.adversary_seed, 5);
+        // Quarantining a corrupt link's endpoint silences that link.
+        let sub = plan.project(&[1, 2]);
+        assert_eq!(sub.corrupt_links, Vec::<(usize, usize, u16)>::new());
     }
 
     #[test]

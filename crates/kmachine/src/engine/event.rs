@@ -72,13 +72,13 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
 use crate::config::{DeliveryMode, NetConfig};
-use crate::ctx::Ctx;
+use crate::ctx::{AdversaryCtx, Ctx};
 use crate::engine::sync::{build_link, crash_horizons, crashed_error};
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::{FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
+use crate::metrics::{AuditMetrics, FaultMetrics, RunMetrics, SkewMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::recovery;
@@ -208,6 +208,10 @@ struct Shared<M> {
     /// Machines that hit their fail-stop horizon (unordered; sorted at
     /// collection).
     crashed: Mutex<Vec<usize>>,
+    /// Byzantine lying context when the run's
+    /// [`crate::config::AdversaryPlan`] has liars or equivocators (`None`
+    /// otherwise — the honest hot path pays one `Option` check per send).
+    adversary: Option<AdversaryCtx>,
 }
 
 impl<M> Shared<M> {
@@ -321,6 +325,7 @@ fn event_core<P: Protocol>(
         slowdowns: (0..k).map(|i| cfg.faults.slowdown(i)).collect(),
         max_retries: cfg.faults.max_retries,
         crashed: Mutex::new(Vec::new()),
+        adversary: AdversaryCtx::from_plan(&cfg.adversary, k),
     };
     let machines: Vec<Mutex<MachineState<P>>> = protocols
         .into_iter()
@@ -373,12 +378,14 @@ fn event_core<P: Protocol>(
     let mut crashed = std::mem::take(&mut *shared.crashed.lock());
     crashed.sort_unstable();
     let mut faults = FaultMetrics { crashed, ..Default::default() };
+    let mut audit = AuditMetrics::default();
     let mut outs = Vec::with_capacity(k);
     for (i, m) in machines.into_iter().enumerate() {
         let st = m.into_inner();
         for fifo in &st.fifos {
             faults.dropped_messages += fifo.dropped();
             faults.retransmitted_bits += fifo.retransmitted_bits();
+            audit.digests_verified += fifo.digests_verified();
         }
         if shared.relaxed {
             skew.max_skew_per_machine[i] = st.max_skew;
@@ -416,6 +423,7 @@ fn event_core<P: Protocol>(
         wall,
         faults,
         recovery: crate::metrics::RecoveryMetrics::default(),
+        audit,
     })
 }
 
@@ -585,6 +593,7 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
                     next_seq: &mut st.seq,
                     crash_rounds: &sh.crash_rounds,
                     rejoin_rounds: &sh.rejoin_rounds,
+                    adversary: sh.adversary.as_ref(),
                 };
                 catch_unwind(AssertUnwindSafe(|| st.proto.on_round(&mut ctx)))
             };
@@ -705,6 +714,11 @@ fn advance<P: Protocol>(id: MachineId, st: &mut MachineState<P>, sh: &Shared<P::
             fifo.drain_round(sh.budget, slot);
             delivered |= slot.len() > before;
             drop(ring);
+            if fifo.integrity_violated() {
+                sh.fail(EngineError::IntegrityViolation { src: id, dst, round: r });
+                exit(st, sh);
+                return true;
+            }
             if fifo.is_down() {
                 sh.fail(EngineError::LinkDown { src: id, dst, round: r, retries: sh.max_retries });
                 exit(st, sh);

@@ -24,7 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{DeliveryMode, NetConfig};
 use crate::error::EngineError;
-use crate::metrics::{FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics};
+use crate::metrics::{AuditMetrics, FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics};
 use crate::protocol::Protocol;
 
 /// Environment variable that, when set, overrides every [`Engine::run`]
@@ -71,6 +71,12 @@ pub struct RunOutcome<T> {
     /// [`RunOutcome::faults`]: same plan, same recoveries on every engine,
     /// and recovery-free runs report it empty.
     pub recovery: RecoveryMetrics,
+    /// Byzantine-audit accounting of the run (link digests verified under an
+    /// armed [`crate::config::AdversaryPlan`]; the query layer above adds
+    /// its semantic-audit counters on top). Lives outside [`RunMetrics`]
+    /// like [`RunOutcome::faults`]: same plan, same counts on every engine,
+    /// and adversary-free runs report it empty.
+    pub audit: AuditMetrics,
 }
 
 /// Which engine to run a protocol on.

@@ -5,28 +5,39 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 
 use crate::config::NetConfig;
-use crate::ctx::Ctx;
+use crate::ctx::{AdversaryCtx, Ctx};
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
-use crate::link::{LinkFifo, LossConfig};
+use crate::link::{IntegrityConfig, LinkFifo, LossConfig};
 use crate::message::Envelope;
-use crate::metrics::{FaultMetrics, RunMetrics};
+use crate::metrics::{AuditMetrics, FaultMetrics, RunMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::recovery;
 use crate::rng::machine_rng;
 
-/// One link `src → dst`, lossy when the fault plan says so. All three
-/// engines build their links through this, so the loss process is keyed
-/// identically everywhere.
+/// One link `src → dst`, lossy when the fault plan says so and
+/// integrity-armed when an [`crate::config::AdversaryPlan`] is active. All
+/// three engines build their links through this, so the loss and corruption
+/// processes are keyed identically everywhere.
 pub(crate) fn build_link<M>(cfg: &NetConfig, src: usize, dst: usize) -> LinkFifo<M> {
-    if cfg.faults.loss_per_mille == 0 {
+    let link = if cfg.faults.loss_per_mille == 0 {
         LinkFifo::default()
     } else {
         LinkFifo::lossy(LossConfig {
             per_mille: cfg.faults.loss_per_mille,
             max_retries: cfg.faults.max_retries,
             seed: cfg.faults.fault_seed,
+            src,
+            dst,
+        })
+    };
+    if cfg.adversary.is_empty() {
+        link
+    } else {
+        link.with_integrity(IntegrityConfig {
+            corrupt_per_mille: cfg.adversary.corrupt_per_mille(src, dst),
+            seed: cfg.adversary.adversary_seed,
             src,
             dst,
         })
@@ -99,6 +110,7 @@ fn sync_core<P: Protocol>(
     let mut outbox: Vec<Envelope<P::Msg>> = Vec::with_capacity(k);
     let crash_rounds = crash_horizons(cfg);
     let rejoin_rounds = recovery::rejoin_horizons(cfg);
+    let adversary = AdversaryCtx::from_plan(&cfg.adversary, k);
     // Halted = produced an output OR crashed: either way the machine is no
     // longer scheduled and its late arrivals are discarded.
     let mut halted = vec![false; k];
@@ -146,6 +158,7 @@ fn sync_core<P: Protocol>(
                     next_seq: &mut seqs[i],
                     crash_rounds: &crash_rounds,
                     rejoin_rounds: &rejoin_rounds,
+                    adversary: adversary.as_ref(),
                 };
                 protocols[i].on_round(&mut ctx)
             };
@@ -179,6 +192,9 @@ fn sync_core<P: Protocol>(
                     continue;
                 }
                 link.drain_round(budget, inbox);
+                if link.integrity_violated() {
+                    return Err(EngineError::IntegrityViolation { src, dst, round });
+                }
                 if link.is_down() {
                     return Err(EngineError::LinkDown {
                         src,
@@ -228,9 +244,11 @@ fn sync_core<P: Protocol>(
     metrics.rounds = round;
     crashed.sort_unstable();
     let mut faults = FaultMetrics { crashed, ..Default::default() };
+    let mut audit = AuditMetrics::default();
     for link in &links {
         faults.dropped_messages += link.dropped();
         faults.retransmitted_bits += link.retransmitted_bits();
+        audit.digests_verified += link.digests_verified();
     }
     Ok(RunOutcome {
         outputs: outputs.into_iter().map(|o| o.expect("all machines done")).collect(),
@@ -239,6 +257,7 @@ fn sync_core<P: Protocol>(
         wall: start.elapsed(),
         faults,
         recovery: crate::metrics::RecoveryMetrics::default(),
+        audit,
     })
 }
 
@@ -504,6 +523,41 @@ mod tests {
         assert_eq!(lossy.metrics.messages, clean.metrics.messages);
         assert_eq!(lossy.metrics.bits, clean.metrics.bits);
         assert!(lossy.metrics.rounds > clean.metrics.rounds);
+    }
+
+    use crate::config::AdversaryPlan;
+
+    #[test]
+    fn corrupt_link_surfaces_integrity_violation() {
+        let cfg = NetConfig::new(2)
+            .with_bandwidth(BandwidthMode::Enforce { bits_per_round: 128 })
+            .with_adversary(AdversaryPlan::default().with_corrupt_link(0, 1, 1000));
+        let err = run_sync(&cfg, vec![Stream { n: 4, received: 0 }, Stream { n: 4, received: 0 }])
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::IntegrityViolation { src: 0, dst: 1, .. }),
+            "guaranteed corruption must be detected at delivery: {err:?}"
+        );
+    }
+
+    #[test]
+    fn armed_but_clean_run_verifies_every_delivery() {
+        // A plan with a 0‰ corrupt link still arms the digest machinery:
+        // every delivered message is verified, none violate.
+        let cfg =
+            NetConfig::new(2).with_adversary(AdversaryPlan::default().with_corrupt_link(0, 1, 0));
+        let out = run_sync(&cfg, vec![Stream { n: 8, received: 0 }, Stream { n: 8, received: 0 }])
+            .unwrap();
+        assert_eq!(out.outputs[1], 8);
+        assert_eq!(out.audit.digests_verified, 8);
+        assert_eq!(out.audit.integrity_violations, 0);
+        // An unarmed run reports an empty audit block.
+        let clean = run_sync(
+            &NetConfig::new(2),
+            vec![Stream { n: 8, received: 0 }, Stream { n: 8, received: 0 }],
+        )
+        .unwrap();
+        assert!(!clean.audit.any());
     }
 
     #[test]

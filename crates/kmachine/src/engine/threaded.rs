@@ -35,13 +35,13 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use crate::config::NetConfig;
-use crate::ctx::Ctx;
+use crate::ctx::{AdversaryCtx, Ctx};
 use crate::engine::sync::{build_link, crash_horizons, crashed_error};
 use crate::engine::RunOutcome;
 use crate::error::EngineError;
 use crate::link::LinkFifo;
 use crate::message::{Envelope, MachineId};
-use crate::metrics::{FaultMetrics, RunMetrics, TagMetrics};
+use crate::metrics::{AuditMetrics, FaultMetrics, RunMetrics, TagMetrics};
 use crate::payload::Payload;
 use crate::protocol::{Protocol, Step};
 use crate::recovery;
@@ -76,6 +76,7 @@ struct Shared<M> {
     crashed: Mutex<Vec<usize>>,
     dropped: AtomicU64,
     retransmitted_bits: AtomicU64,
+    digests_verified: AtomicU64,
 }
 
 /// Execute one protocol instance per machine, each on its own OS thread.
@@ -132,11 +133,13 @@ fn threaded_core<P: Protocol>(
         crashed: Mutex::new(Vec::new()),
         dropped: AtomicU64::new(0),
         retransmitted_bits: AtomicU64::new(0),
+        digests_verified: AtomicU64::new(0),
     };
     let outputs: Vec<Mutex<Option<P::Output>>> = (0..k).map(|_| Mutex::new(None)).collect();
     let sends: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
     let crash_rounds = crash_horizons(cfg);
     let rejoin_rounds = recovery::rejoin_horizons(cfg);
+    let adversary = AdversaryCtx::from_plan(&cfg.adversary, k);
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -146,6 +149,7 @@ fn threaded_core<P: Protocol>(
             let sends = &sends;
             let crash_rounds = &crash_rounds;
             let rejoin_rounds = &rejoin_rounds;
+            let adversary = adversary.as_ref();
             scope.spawn(move || {
                 machine_main(
                     id,
@@ -158,6 +162,7 @@ fn threaded_core<P: Protocol>(
                     sends,
                     crash_rounds,
                     rejoin_rounds,
+                    adversary,
                     recovering,
                 );
             });
@@ -201,6 +206,10 @@ fn threaded_core<P: Protocol>(
         wall,
         faults,
         recovery: crate::metrics::RecoveryMetrics::default(),
+        audit: AuditMetrics {
+            digests_verified: shared.digests_verified.load(Ordering::Acquire),
+            ..Default::default()
+        },
     })
 }
 
@@ -216,6 +225,7 @@ fn machine_main<P: Protocol>(
     sends: &[AtomicU64],
     crash_rounds: &[u64],
     rejoin_rounds: &[u64],
+    adversary: Option<&AdversaryCtx>,
     recovering: Option<&recovery::RecoveryShared>,
 ) {
     let mut rng = machine_rng(cfg.seed, id);
@@ -318,6 +328,7 @@ fn machine_main<P: Protocol>(
                     next_seq: &mut seq,
                     crash_rounds,
                     rejoin_rounds,
+                    adversary,
                 };
                 catch_unwind(AssertUnwindSafe(|| proto.on_round(&mut ctx)))
             };
@@ -377,6 +388,12 @@ fn machine_main<P: Protocol>(
             link.drain_round(budget, &mut slot);
             delivered_any |= slot.len() > before;
             drop(slot);
+            if link.integrity_violated() {
+                let mut err = shared.error.lock();
+                if err.is_none() {
+                    *err = Some(EngineError::IntegrityViolation { src: id, dst, round });
+                }
+            }
             if link.is_down() {
                 let mut err = shared.error.lock();
                 if err.is_none() {
@@ -413,14 +430,18 @@ fn machine_main<P: Protocol>(
             total.bits += mine.bits;
         }
     }
-    let (mut dropped, mut retransmitted) = (0u64, 0u64);
+    let (mut dropped, mut retransmitted, mut verified) = (0u64, 0u64, 0u64);
     for link in &links {
         dropped += link.dropped();
         retransmitted += link.retransmitted_bits();
+        verified += link.digests_verified();
     }
     if dropped > 0 {
         shared.dropped.fetch_add(dropped, Ordering::AcqRel);
         shared.retransmitted_bits.fetch_add(retransmitted, Ordering::AcqRel);
+    }
+    if verified > 0 {
+        shared.digests_verified.fetch_add(verified, Ordering::AcqRel);
     }
 }
 

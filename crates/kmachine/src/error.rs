@@ -86,6 +86,30 @@ pub enum EngineError {
         /// The configured retention window the gap exceeds.
         retention: u64,
     },
+    /// A message arrived whose chained link-layer integrity digest did not
+    /// match the receiver's chain: the payload was corrupted in flight
+    /// (injected via [`crate::config::AdversaryPlan::corrupt_links`]).
+    /// The run aborts at the first mismatch instead of delivering poisoned
+    /// data; callers recover by quarantining the sending machine and
+    /// retrying over the survivors.
+    IntegrityViolation {
+        /// Sending machine of the corrupted link.
+        src: usize,
+        /// Receiving machine of the corrupted link.
+        dst: usize,
+        /// Round in which the mismatch was detected at delivery.
+        round: u64,
+    },
+    /// A checkpoint blob failed its integrity seal on restore: the snapshot
+    /// was truncated or corrupted between [`crate::Protocol::checkpoint`]
+    /// and the rejoin's [`crate::Protocol::restore`]. Surfaced as a typed
+    /// error — never a panic, never a silent wrong restore.
+    SnapshotCorrupt {
+        /// The machine whose rejoin found the bad blob.
+        machine: usize,
+        /// Round of the checkpoint the blob claimed to be.
+        round: u64,
+    },
     /// A `KNN_ENGINE` / `KNN_DELIVERY` environment override did not parse.
     /// Surfaced as an error (not a panic) so long-running serving binaries
     /// report a typo instead of aborting.
@@ -145,6 +169,20 @@ impl fmt::Display for EngineError {
                      retention window"
                 )
             }
+            EngineError::IntegrityViolation { src, dst, round } => {
+                write!(
+                    f,
+                    "integrity violation on link {src} -> {dst}: digest mismatch detected at \
+                     delivery in round {round}"
+                )
+            }
+            EngineError::SnapshotCorrupt { machine, round } => {
+                write!(
+                    f,
+                    "machine {machine} cannot restore from its round-{round} checkpoint: the \
+                     blob failed its integrity seal (truncated or corrupted)"
+                )
+            }
             EngineError::BadEnvOverride { var, reason } => {
                 write!(f, "invalid {var} environment override: {reason}")
             }
@@ -186,5 +224,9 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("machine 2") && s.contains("round 90") && s.contains("64"));
+        let s = EngineError::IntegrityViolation { src: 1, dst: 3, round: 6 }.to_string();
+        assert!(s.contains("1 -> 3") && s.contains("round 6"));
+        let s = EngineError::SnapshotCorrupt { machine: 4, round: 8 }.to_string();
+        assert!(s.contains("machine 4") && s.contains("round-8"));
     }
 }

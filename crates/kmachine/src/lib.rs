@@ -41,6 +41,15 @@
 //!   ([`Protocol::on_crash`], observed by peers via [`Ctx::crashed`]), and
 //!   wall-clock stragglers — the realized faults are identical on every
 //!   engine and reported in [`RunOutcome::faults`];
+//! * deterministic Byzantine injection ([`AdversaryPlan`]): machines that
+//!   lie from a scheduled round on ([`Payload::tamper`] perturbs their
+//!   outgoing values with pure seeded words, equivocators telling each peer
+//!   a *different* lie) and links that corrupt payload bits in flight —
+//!   caught at delivery by chained per-link integrity digests
+//!   ([`EngineError::IntegrityViolation`]); verification counts ride
+//!   [`RunOutcome::audit`], identically on every engine. Semantic detection
+//!   of lies (and quarantine of liars) is the query layer's job, built on
+//!   the same seeded determinism;
 //! * deterministic crash-recovery ([`config::RecoveryPlan`]): protocols
 //!   serialize their state through [`Protocol::checkpoint`] /
 //!   [`Protocol::restore`] (blobs built with [`snapshot`]); a machine
@@ -115,13 +124,15 @@ pub(crate) mod recovery;
 pub mod rng;
 pub mod snapshot;
 
-pub use config::{BandwidthMode, DeliveryMode, FaultPlan, NetConfig, RecoveryPlan};
+pub use config::{AdversaryPlan, BandwidthMode, DeliveryMode, FaultPlan, NetConfig, RecoveryPlan};
 pub use ctx::Ctx;
 pub use engine::{run_event, run_sync, run_threaded, Engine, RunOutcome, DELIVERY_ENV, ENGINE_ENV};
 pub use error::EngineError;
-pub use link::{LinkFifo, LossConfig};
+pub use link::{IntegrityConfig, LinkFifo, LossConfig};
 pub use message::{Envelope, MachineId, ENVELOPE_HEADER_BITS};
-pub use metrics::{FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics, TagMetrics};
+pub use metrics::{
+    AuditMetrics, FaultMetrics, RecoveryMetrics, RunMetrics, SkewMetrics, TagMetrics,
+};
 pub use mux::{MuxOutput, MuxProtocol, Tagged, MUX_TAG_BITS};
 pub use payload::Payload;
 pub use protocol::{Protocol, Step};

@@ -33,6 +33,26 @@ pub struct LossConfig {
     pub dst: MachineId,
 }
 
+/// Integrity/corruption process of one ordered link, derived from the
+/// run's [`crate::config::AdversaryPlan`]. When armed, the link stamps a
+/// chained digest into every pushed envelope and verifies the chain at
+/// delivery; the corruption decision for a message is a pure hash of
+/// `(seed, src, dst, message index on this link)` — the same scheme as
+/// [`LossConfig`] — so every engine at every pool size corrupts exactly
+/// the same messages.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegrityConfig {
+    /// In-flight corruption probability in thousandths (≤ 1000; 0 = the
+    /// link only verifies, never corrupts).
+    pub corrupt_per_mille: u16,
+    /// Seed of the corruption process.
+    pub seed: u64,
+    /// Sending machine (part of both the chain and the corruption hash).
+    pub src: MachineId,
+    /// Receiving machine.
+    pub dst: MachineId,
+}
+
 /// One queued message: the envelope, its transmission progress, and the
 /// retry bookkeeping the loss layer needs to re-send it at full size.
 #[derive(Debug)]
@@ -55,6 +75,13 @@ pub struct LinkFifo<M> {
     queue: VecDeque<InFlight<M>>,
     pending_bits: u64,
     loss: Option<LossConfig>,
+    integrity: Option<IntegrityConfig>,
+    /// Sender-side digest chain (advanced at push).
+    send_chain: u64,
+    /// Receiver-side digest chain (advanced at delivery).
+    recv_chain: u64,
+    digests_verified: u64,
+    violated: bool,
     next_index: u64,
     dropped: u64,
     retransmitted_bits: u64,
@@ -67,6 +94,11 @@ impl<M> Default for LinkFifo<M> {
             queue: VecDeque::new(),
             pending_bits: 0,
             loss: None,
+            integrity: None,
+            send_chain: 0,
+            recv_chain: 0,
+            digests_verified: 0,
+            violated: false,
             next_index: 0,
             dropped: 0,
             retransmitted_bits: 0,
@@ -91,6 +123,27 @@ fn loss_roll(seed: u64, src: MachineId, dst: MachineId, index: u64, tries: u32) 
     x
 }
 
+/// Advance a per-link digest chain over one envelope's identity. Chaining
+/// (rather than hashing each message independently) means a mismatch also
+/// catches reordering and replay, not just bit-flips.
+fn chain_digest(prev: u64, src: MachineId, dst: MachineId, seq: u64, sent_round: u64) -> u64 {
+    let mut x = prev
+        ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ seq.wrapping_mul(0x1656_67B1_9E37_79F9)
+        ^ sent_round.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Salt decorrelating the corruption stream from the loss stream when both
+/// run off related seeds.
+const CORRUPT_SALT: u64 = 0xB5E0_C0DE_D16E_5751;
+
 impl<M> LinkFifo<M> {
     /// A link that drops messages according to `loss` (a `per_mille` of 0
     /// behaves exactly like [`LinkFifo::default`]).
@@ -98,12 +151,40 @@ impl<M> LinkFifo<M> {
         LinkFifo { loss: (loss.per_mille > 0).then_some(loss), ..Default::default() }
     }
 
+    /// Arm the integrity layer: stamp a chained digest into every pushed
+    /// envelope, verify it at delivery, and corrupt in-flight messages
+    /// according to `integrity.corrupt_per_mille`.
+    pub fn with_integrity(mut self, integrity: IntegrityConfig) -> Self {
+        self.integrity = Some(integrity);
+        self
+    }
+
     /// Enqueue a message whose wire size is `bits` (clamped to ≥ 1).
-    pub fn push(&mut self, env: Envelope<M>, bits: u64) {
+    pub fn push(&mut self, mut env: Envelope<M>, bits: u64) {
         let bits = bits.max(1);
         self.pending_bits += bits;
         let index = self.next_index;
         self.next_index += 1;
+        if let Some(integrity) = self.integrity {
+            self.send_chain =
+                chain_digest(self.send_chain, env.src, env.dst, env.seq, env.sent_round);
+            env.digest = self.send_chain;
+            if integrity.corrupt_per_mille > 0 {
+                let roll = loss_roll(
+                    integrity.seed ^ CORRUPT_SALT,
+                    integrity.src,
+                    integrity.dst,
+                    index,
+                    0,
+                );
+                if roll % 1000 < u64::from(integrity.corrupt_per_mille) {
+                    // The in-flight bit-flip: the payload is corrupted on
+                    // the wire, which the digest (standing in for a
+                    // checksum over the payload) no longer matches.
+                    env.digest ^= roll | 1;
+                }
+            }
+        }
         self.queue.push_back(InFlight { env, remaining: bits, full: bits, index, tries: 0 });
     }
 
@@ -150,6 +231,23 @@ impl<M> LinkFifo<M> {
                     }
                 }
                 let head = self.queue.pop_front().expect("front exists");
+                if self.integrity.is_some() {
+                    self.recv_chain = chain_digest(
+                        self.recv_chain,
+                        head.env.src,
+                        head.env.dst,
+                        head.env.seq,
+                        head.env.sent_round,
+                    );
+                    if head.env.digest != self.recv_chain {
+                        // Poisoned payload: never deliver it. The engines
+                        // observe the violation and abort the run with a
+                        // typed error instead of executing on bad data.
+                        self.violated = true;
+                        return;
+                    }
+                    self.digests_verified += 1;
+                }
                 out.push(head.env);
             } else {
                 front.remaining -= budget;
@@ -189,6 +287,21 @@ impl<M> LinkFifo<M> {
     pub fn retransmitted_bits(&self) -> u64 {
         self.retransmitted_bits
     }
+
+    /// Messages whose chained digest was verified at delivery (always 0 on
+    /// an unarmed link).
+    #[inline]
+    pub fn digests_verified(&self) -> u64 {
+        self.digests_verified
+    }
+
+    /// True once a delivery found a digest mismatch: the link saw a
+    /// corrupted payload and the engines must abort with
+    /// [`crate::EngineError::IntegrityViolation`].
+    #[inline]
+    pub fn integrity_violated(&self) -> bool {
+        self.violated
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +309,7 @@ mod tests {
     use super::*;
 
     fn env(seq: u64) -> Envelope<u64> {
-        Envelope { src: 0, dst: 1, sent_round: 0, seq, msg: seq }
+        Envelope { src: 0, dst: 1, sent_round: 0, seq, digest: 0, msg: seq }
     }
 
     #[test]
@@ -341,6 +454,92 @@ mod tests {
         // A dead link never delivers, however often it is drained.
         link.drain_round(u64::MAX / 2, &mut out);
         assert!(out.is_empty());
+    }
+
+    fn armed_link(corrupt_per_mille: u16, seed: u64) -> LinkFifo<u64> {
+        LinkFifo::default().with_integrity(IntegrityConfig {
+            corrupt_per_mille,
+            seed,
+            src: 0,
+            dst: 1,
+        })
+    }
+
+    #[test]
+    fn clean_armed_link_verifies_every_delivery() {
+        let mut link = armed_link(0, 7);
+        for i in 0..20 {
+            link.push(env(i), 64);
+        }
+        let mut out = Vec::new();
+        while !link.is_empty() {
+            link.drain_round(256, &mut out);
+        }
+        assert_eq!(out.len(), 20);
+        assert_eq!(link.digests_verified(), 20);
+        assert!(!link.integrity_violated());
+        assert!(out.iter().all(|e| e.digest != 0), "every envelope is stamped");
+        let seqs: Vec<u64> = out.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn corruption_is_caught_at_delivery_and_stops_the_link() {
+        // Certain corruption: the very first delivery must mismatch.
+        let mut link = armed_link(1000, 3);
+        link.push(env(0), 64);
+        link.push(env(1), 64);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            link.drain_round(512, &mut out);
+        }
+        assert!(out.is_empty(), "a poisoned payload is never delivered");
+        assert!(link.integrity_violated());
+        assert_eq!(link.digests_verified(), 0);
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_and_seeded() {
+        let run = |per_mille: u16, seed: u64| {
+            let mut link = armed_link(per_mille, seed);
+            for i in 0..60 {
+                link.push(env(i), 64);
+            }
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                link.drain_round(256, &mut out);
+            }
+            (out.len(), link.integrity_violated())
+        };
+        assert_eq!(run(200, 9), run(200, 9), "same link, same seed: same corruption");
+        assert!(run(200, 9).1, "20% corruption over 60 messages must hit");
+        assert!(!run(0, 9).1, "a verify-only link never violates");
+        // Loss and integrity compose: a lossy + armed link still verifies
+        // the messages that survive retransmission.
+        let mut link = LinkFifo::lossy(LossConfig {
+            per_mille: 300,
+            max_retries: 64,
+            seed: 11,
+            src: 0,
+            dst: 1,
+        })
+        .with_integrity(IntegrityConfig {
+            corrupt_per_mille: 0,
+            seed: 11,
+            src: 0,
+            dst: 1,
+        });
+        for i in 0..30 {
+            link.push(env(i), 64);
+        }
+        let mut out = Vec::new();
+        while !link.is_empty() {
+            link.drain_round(256, &mut out);
+        }
+        assert_eq!(out.len(), 30);
+        assert_eq!(link.digests_verified(), 30);
+        assert!(link.dropped() > 0);
+        assert!(!link.integrity_violated());
     }
 
     #[test]

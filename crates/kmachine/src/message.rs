@@ -27,6 +27,13 @@ pub struct Envelope<M> {
     /// delivery a deterministic total order, so both engines present
     /// identical inboxes.
     pub seq: u64,
+    /// Link-layer integrity digest: a chained per-link digest stamped by
+    /// the sending link at push and verified at delivery (see
+    /// [`crate::link::LinkFifo`]). Zero until stamped, and left zero
+    /// entirely when the run has no [`crate::config::AdversaryPlan`] — the
+    /// integrity machinery is armed only for adversarial runs so honest
+    /// runs pay nothing.
+    pub digest: u64,
     /// The protocol payload.
     pub msg: M,
 }
@@ -37,12 +44,13 @@ mod tests {
 
     #[test]
     fn envelope_is_plain_data() {
-        let e = Envelope { src: 1, dst: 2, sent_round: 3, seq: 4, msg: 5u64 };
+        let e = Envelope { src: 1, dst: 2, sent_round: 3, seq: 4, digest: 0, msg: 5u64 };
         let f = e.clone();
         assert_eq!(f.src, 1);
         assert_eq!(f.dst, 2);
         assert_eq!(f.sent_round, 3);
         assert_eq!(f.seq, 4);
+        assert_eq!(f.digest, 0);
         assert_eq!(f.msg, 5);
     }
 }

@@ -122,6 +122,46 @@ impl RecoveryMetrics {
     }
 }
 
+/// Byzantine-audit accounting of one run (and, in `knn-core`, of one
+/// query's quarantine-and-retry loop) under a
+/// [`crate::config::AdversaryPlan`].
+///
+/// Carried on [`crate::RunOutcome::audit`], *not* inside [`RunMetrics`],
+/// for the same reason as [`FaultMetrics`]: integrity verification and
+/// semantic auditing are defense-layer bookkeeping — the protocol's
+/// communication bill stays identical whether or not anyone was checking —
+/// so the cross-engine `RunMetrics` equality asserts survive unchanged.
+/// The audit realization is deterministic: the same plan yields
+/// byte-identical `AuditMetrics` on every engine and at every pool size.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditMetrics {
+    /// Messages whose chained link digest was verified at delivery (zero
+    /// when the run had no adversary plan — integrity is armed only then).
+    pub digests_verified: u64,
+    /// Digest mismatches caught at delivery. At the engine layer a
+    /// violation aborts the run with
+    /// [`crate::EngineError::IntegrityViolation`], so a single run reports
+    /// at most the violations it died on; the query layer accumulates them
+    /// across its quarantine retries.
+    pub integrity_violations: u64,
+    /// Semantic audit passes run by the query layer (leader recomputation
+    /// of claimed contributions against the shard-local oracles).
+    pub audits_run: u64,
+    /// Machines quarantined out of the run by failed audits or integrity
+    /// violations.
+    pub suspects_quarantined: u64,
+}
+
+impl AuditMetrics {
+    /// True when the run recorded any audit activity at all.
+    pub fn any(&self) -> bool {
+        self.digests_verified > 0
+            || self.integrity_violations > 0
+            || self.audits_run > 0
+            || self.suspects_quarantined > 0
+    }
+}
+
 /// Exact communication costs of one protocol run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -248,6 +288,18 @@ mod tests {
         assert!(r.any());
         let s = serde_json::to_string(&r).unwrap();
         assert!(s.contains("\"rejoined\":[1]"));
+    }
+
+    #[test]
+    fn audit_metrics_flag_realized_audits() {
+        let mut a = AuditMetrics::default();
+        assert!(!a.any());
+        a.digests_verified = 12;
+        assert!(a.any());
+        let a = AuditMetrics { suspects_quarantined: 1, ..Default::default() };
+        assert!(a.any());
+        let s = serde_json::to_string(&a).unwrap();
+        assert!(s.contains("\"suspects_quarantined\":1"));
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl<M: Payload> Payload for Tagged<M> {
     fn mux_tag(&self) -> Option<u32> {
         Some(self.tag)
     }
+
+    /// A lying mux machine lies in every instance: tampering passes through
+    /// to the inner payload (the tag itself is never perturbed — a wrong
+    /// *value* inside the right instance, per the [`Payload::tamper`]
+    /// contract).
+    fn tamper(&mut self, word: u64) -> bool {
+        self.msg.tamper(word)
+    }
 }
 
 /// Per-machine output of a multiplexed run.
@@ -268,6 +276,7 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                     dst: env.dst,
                     sent_round: env.sent_round,
                     seq: env.seq,
+                    digest: env.digest,
                     msg: env.msg.msg.clone(),
                 });
             }
@@ -290,6 +299,11 @@ impl<P: Protocol> Protocol for MuxProtocol<P> {
                     next_seq: &mut slot.seq,
                     crash_rounds: ctx.crash_rounds,
                     rejoin_rounds: ctx.rejoin_rounds,
+                    // The outer ctx applies the adversary when the instance's
+                    // sends are re-wrapped below ([`Tagged::tamper`] passes
+                    // the lie through); arming the inner ctx too would
+                    // double-tamper.
+                    adversary: None,
                 };
                 slot.proto.on_round(&mut inner)
             };

@@ -67,6 +67,32 @@ pub(crate) fn validate(cfg: &NetConfig) -> Result<(), EngineError> {
             ));
         }
     }
+    for &(m, _) in &cfg.adversary.lies {
+        if m >= cfg.k {
+            return invalid(format!("lie entry for machine {m} out of range (k = {})", cfg.k));
+        }
+    }
+    for &m in &cfg.adversary.equivocators {
+        if m >= cfg.k {
+            return invalid(format!(
+                "equivocator entry for machine {m} out of range (k = {})",
+                cfg.k
+            ));
+        }
+    }
+    for &(src, dst, p) in &cfg.adversary.corrupt_links {
+        if p > 1000 {
+            return invalid(format!(
+                "corrupt link {src} -> {dst}: per_mille {p} exceeds 1000 (100% corruption)"
+            ));
+        }
+        if src >= cfg.k || dst >= cfg.k || src == dst {
+            return invalid(format!(
+                "corrupt link {src} -> {dst} is not an ordered link of a {}-machine cluster",
+                cfg.k
+            ));
+        }
+    }
     let plan = &cfg.recovery;
     for (i, &(m, c, j)) in plan.rejoins.iter().enumerate() {
         if m >= cfg.k {
@@ -250,7 +276,11 @@ impl<P: Protocol> Recovering<P> {
         if !r.is_multiple_of(self.interval) || r > crash {
             return;
         }
-        let blob = self.inner.checkpoint();
+        // The blob is sealed here — at the recovery layer, not inside the
+        // protocol — so every stored snapshot carries an integrity digest
+        // without any protocol's blob format changing. `rejoin` verifies
+        // the seal before handing the payload to `restore`.
+        let blob = self.inner.checkpoint().map(crate::snapshot::seal);
         if blob.is_none() && r > 0 {
             return;
         }
@@ -303,7 +333,16 @@ impl<P: Protocol> Recovering<P> {
     fn rejoin(&mut self, ctx: &mut Ctx<'_, P::Msg>, spec: RejoinSpec) -> Step<P::Output> {
         let ck = self.ckpt.take().expect("validated at crash round");
         if let Some(blob) = &ck.blob {
-            if !self.inner.restore(blob) {
+            // Seal first: a truncated or bit-flipped blob is a typed
+            // corruption report, never a panic and never a silent wrong
+            // restore. Only a seal-verified payload reaches `restore` —
+            // if *that* fails, the blob was written by a different state
+            // and the rejoin is unsalvageable (same report as no blob).
+            let Some(payload) = crate::snapshot::unseal(blob) else {
+                self.fail(EngineError::SnapshotCorrupt { machine: self.id, round: ck.round });
+                return Step::Continue;
+            };
+            if !self.inner.restore(payload) {
                 self.fail(EngineError::Crashed { machine: self.id, round: spec.crash });
                 return Step::Continue;
             }
@@ -326,6 +365,10 @@ impl<P: Protocol> Recovering<P> {
                     next_seq: &mut seq,
                     crash_rounds: ctx.crash_rounds,
                     rejoin_rounds: ctx.rejoin_rounds,
+                    // A lying machine replays its lies: tamper words are
+                    // pure in (machine, round), so the regenerated sends
+                    // are bit-identical to the originals.
+                    adversary: ctx.adversary,
                 };
                 self.inner.on_round(&mut ictx)
             };
@@ -596,6 +639,62 @@ mod tests {
                 retention: 4
             }
         );
+    }
+
+    #[test]
+    fn invalid_adversary_plans_are_rejected_before_execution() {
+        use crate::config::AdversaryPlan;
+        let k = 3;
+        let bad = [
+            cfg(k).with_adversary(AdversaryPlan::default().with_lie(5, 0)),
+            cfg(k).with_adversary(AdversaryPlan::default().with_equivocate(3)),
+            cfg(k).with_adversary(AdversaryPlan::default().with_corrupt_link(0, 1, 1001)),
+            cfg(k).with_adversary(AdversaryPlan::default().with_corrupt_link(0, 7, 10)),
+            cfg(k).with_adversary(AdversaryPlan::default().with_corrupt_link(1, 1, 10)),
+        ];
+        for cfg in bad {
+            match run_sync(&cfg, fleet(k)) {
+                Err(EngineError::InvalidPlan { .. }) => {}
+                other => panic!("expected InvalidPlan, got {other:?}"),
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Satellite hardening: no mutation of a sealed checkpoint blob ever
+        /// restores — a flipped byte, a truncation, or trailing garbage is
+        /// rejected by the seal (and even a hypothetical seal pass must make
+        /// `restore` return a bool, never panic).
+        #[test]
+        fn fuzzed_snapshot_mutations_never_restore_and_never_panic(
+            flip_at in 0usize..512,
+            flip_bits in 1u8..=255,
+            cut in 0usize..512,
+        ) {
+            let state = TwoPhase { hellos: 2, acks: 1, acc: 77, sent_hello: true, sent_ack: false };
+            let sealed = crate::snapshot::seal(state.checkpoint().expect("supported"));
+            // Bit-flip mutation.
+            let mut flipped = sealed.clone();
+            let at = flip_at % flipped.len();
+            flipped[at] ^= flip_bits;
+            proptest::prop_assert!(crate::snapshot::unseal(&flipped).is_none());
+            let mut target = TwoPhase::default();
+            // Even handed the mutated payload directly, restore returns a
+            // verdict (the call simply must not panic; most mutations that
+            // keep the length decode to *some* state, which is exactly why
+            // the seal layer exists above it).
+            let _ = target.restore(&flipped);
+            // Truncation mutation.
+            let cut = cut % sealed.len();
+            proptest::prop_assert!(crate::snapshot::unseal(&sealed[..cut]).is_none());
+            let _ = TwoPhase::default().restore(&sealed[..cut]);
+            // Extension mutation.
+            let mut extended = sealed.clone();
+            extended.push(flip_bits);
+            proptest::prop_assert!(crate::snapshot::unseal(&extended).is_none());
+        }
     }
 
     #[test]

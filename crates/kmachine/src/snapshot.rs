@@ -10,6 +10,53 @@
 //! which [`crate::Protocol::restore`] maps to `false` (rejoin unsupported)
 //! instead of panicking inside an engine.
 
+/// Domain-separation salt of the checkpoint seal digest (distinct from the
+/// link-layer chain and corruption salts).
+const SEAL_SALT: u64 = 0x5EA1_C4EC_4B01_7B10;
+
+/// Content digest of a checkpoint blob: a seeded multiply-xor chain over
+/// the bytes (length-prefixed, splitmix64-finalized). Not cryptographic —
+/// the threat model is the repo's seeded fault injection plus accidental
+/// truncation, not a forging adversary — but any single flipped or missing
+/// byte changes the digest.
+fn seal_digest(bytes: &[u8]) -> u64 {
+    let mut h = SEAL_SALT ^ (bytes.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h ^= u64::from_le_bytes(word);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
+/// Seal a checkpoint blob: append its [content digest](seal_digest) so a
+/// later [`unseal`] can prove the bytes are the ones the checkpoint wrote.
+/// The inner blob format is untouched — sealing happens at the recovery
+/// layer, protocols never see it.
+pub fn seal(mut blob: Vec<u8>) -> Vec<u8> {
+    let digest = seal_digest(&blob);
+    blob.extend_from_slice(&digest.to_le_bytes());
+    blob
+}
+
+/// Verify a sealed blob and return the payload, or `None` when the seal
+/// fails — the blob was truncated, extended, or any byte changed since
+/// [`seal`]. Callers map `None` to
+/// [`crate::EngineError::SnapshotCorrupt`], never a panic.
+pub fn unseal(sealed: &[u8]) -> Option<&[u8]> {
+    let split = sealed.len().checked_sub(8)?;
+    let (payload, tail) = sealed.split_at(split);
+    let claimed = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    (seal_digest(payload) == claimed).then_some(payload)
+}
+
 /// Append-only writer for a checkpoint blob.
 #[derive(Debug, Default)]
 pub struct SnapshotWriter {
@@ -138,6 +185,29 @@ mod tests {
         assert_eq!(r.bytes(), Some(&b"shard"[..]));
         assert_eq!(r.bytes(), Some(&b""[..]));
         assert!(r.done());
+    }
+
+    #[test]
+    fn seal_round_trips_and_rejects_every_mutation() {
+        for payload in [&b""[..], b"x", b"a longer checkpoint blob with content"] {
+            let sealed = seal(payload.to_vec());
+            assert_eq!(sealed.len(), payload.len() + 8);
+            assert_eq!(unseal(&sealed), Some(payload), "clean seal must verify");
+            // Every single-byte flip is caught — payload and seal alike.
+            for i in 0..sealed.len() {
+                let mut bad = sealed.clone();
+                bad[i] ^= 0x40;
+                assert_eq!(unseal(&bad), None, "flip at byte {i} must fail the seal");
+            }
+            // Every truncation is caught, including cutting into the seal.
+            for len in 0..sealed.len() {
+                assert_eq!(unseal(&sealed[..len]), None, "truncation to {len} must fail");
+            }
+            // Trailing garbage is caught too.
+            let mut extended = sealed.clone();
+            extended.push(0);
+            assert_eq!(unseal(&extended), None);
+        }
     }
 
     #[test]

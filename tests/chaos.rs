@@ -14,7 +14,7 @@
 //! chaos leg uploads.
 
 use kmachine::error::EngineError;
-use kmachine::{DeliveryMode, Engine, FaultPlan, RecoveryPlan};
+use kmachine::{AdversaryPlan, DeliveryMode, Engine, FaultPlan, RecoveryPlan};
 use knn_core::cluster::{KnnCluster, Neighbor};
 use knn_core::error::CoreError;
 use knn_core::runner::{Algorithm, ElectionKind};
@@ -410,6 +410,296 @@ fn recovery_metrics_artifact() {
     std::fs::create_dir_all("results").expect("results dir");
     let json = serde_json::to_string_pretty(&batch).expect("serialize");
     std::fs::write("results/recovery_metrics.json", json).expect("write artifact");
+}
+
+/// A loaded cluster under a Byzantine adversary plan, optionally compounded
+/// with fail-stop faults and a recovery plan.
+fn byzantine_cluster(
+    k: usize,
+    seed: u64,
+    engine: Engine,
+    delivery: DeliveryMode,
+    adversary: AdversaryPlan,
+    faults: FaultPlan,
+    recovery: RecoveryPlan,
+) -> KnnCluster {
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    let mut cluster: KnnCluster = KnnCluster::builder()
+        .machines(k)
+        .seed(seed)
+        .engine(engine)
+        .delivery(delivery)
+        .election(ElectionKind::Fixed)
+        .adversary(adversary)
+        .faults(faults)
+        .recovery(recovery)
+        .build();
+    cluster.load_shards(shards).expect("shard count");
+    cluster
+}
+
+/// Byzantine detection, quarantine, and the certified answer are engine-
+/// and pool-invariant: the same lie is fabricated, caught, and recovered
+/// from identically on sync, threaded, and event (exact *and* relaxed
+/// delivery), at every pool size — audits, violations, and quarantine
+/// counts included.
+#[test]
+fn byzantine_recovery_is_engine_and_pool_invariant() {
+    let (seed, k, ell) = (83u64, 4usize, 8usize);
+    let qs = queries(seed, 4);
+    let plan = AdversaryPlan::default().with_lie(1, 0);
+    let want = with_pool(1, || {
+        let c = byzantine_cluster(
+            k,
+            seed,
+            Engine::Sync,
+            DeliveryMode::Exact,
+            plan.clone(),
+            FaultPlan::default(),
+            RecoveryPlan::default(),
+        );
+        c.query_batch_with(Algorithm::Knn, &qs, ell).expect("byzantine batch")
+    });
+    assert_eq!(want.audit.suspects_quarantined, 1, "the liar must be caught");
+    assert!(want.audit.audits_run > 0);
+    assert!(want.degraded, "the quarantined shard degrades the batch");
+    for (engine, delivery) in [
+        (Engine::Sync, DeliveryMode::Exact),
+        (Engine::Threaded, DeliveryMode::Exact),
+        (Engine::Event, DeliveryMode::Exact),
+        (Engine::Event, DeliveryMode::Relaxed),
+    ] {
+        for pool in [1usize, 8] {
+            let got = with_pool(pool, || {
+                let c = byzantine_cluster(
+                    k,
+                    seed,
+                    engine,
+                    delivery,
+                    plan.clone(),
+                    FaultPlan::default(),
+                    RecoveryPlan::default(),
+                );
+                c.query_batch_with(Algorithm::Knn, &qs, ell).expect("byzantine batch")
+            });
+            let label = format!("{engine:?}/{delivery:?}/pool {pool}");
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                assert_eq!(g.neighbors, w.neighbors, "byzantine answers diverged: {label}");
+                assert_eq!(g.attempts, w.attempts, "{label}");
+            }
+            assert_eq!(got.metrics, want.metrics, "{label}");
+            assert_eq!(got.audit, want.audit, "audit metrics diverged: {label}");
+            assert_eq!(got.degraded, want.degraded, "{label}");
+            assert_eq!(got.shards_used, want.shards_used, "{label}");
+        }
+    }
+}
+
+/// Compound faults in one run: survivable link loss **and** a crash-then-
+/// rejoin window together. The rejoin heals in-run, the loss retransmits,
+/// and the whole thing stays byte-identical across engines and pool sizes.
+#[test]
+fn loss_plus_rejoin_compound_is_engine_and_pool_invariant() {
+    let (seed, k, ell) = (89u64, 4usize, 6usize);
+    let qs = queries(seed, 4);
+    let faults = FaultPlan::default().with_loss(40, 16).with_fault_seed(13);
+    let recovery = RecoveryPlan::default().with_rejoin(2, 2, 5);
+    let want = with_pool(1, || {
+        let c = byzantine_cluster(
+            k,
+            seed,
+            Engine::Sync,
+            DeliveryMode::Exact,
+            AdversaryPlan::default(),
+            faults.clone(),
+            recovery.clone(),
+        );
+        c.query_batch_with(Algorithm::Simple, &qs, ell).expect("compound batch")
+    });
+    assert!(want.recovered, "the rejoin is recovery work");
+    assert!(!want.degraded, "the healed shard serves");
+    assert!(want.replayed_rounds >= 1);
+    assert!(want.faults.dropped_messages > 0, "the loss process must actually bite");
+    for engine in [Engine::Threaded, Engine::Event] {
+        for pool in [1usize, 8] {
+            let got = with_pool(pool, || {
+                let c = byzantine_cluster(
+                    k,
+                    seed,
+                    engine,
+                    DeliveryMode::Exact,
+                    AdversaryPlan::default(),
+                    faults.clone(),
+                    recovery.clone(),
+                );
+                c.query_batch_with(Algorithm::Simple, &qs, ell).expect("compound batch")
+            });
+            let label = format!("{engine:?}/pool {pool}");
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                assert_eq!(g.neighbors, w.neighbors, "compound answers diverged: {label}");
+            }
+            assert_eq!(got.metrics, want.metrics, "{label}");
+            assert_eq!(got.faults, want.faults, "realized faults diverged: {label}");
+            assert_eq!(got.replayed_rounds, want.replayed_rounds, "{label}");
+        }
+    }
+}
+
+/// An adversary lying while another machine is inside its crash-rejoin
+/// replay window: the rejoiner heals, the liar is caught and quarantined,
+/// and the certified answer equals the honest survivors' — identically on
+/// every engine.
+#[test]
+fn lie_during_a_replay_window_is_caught_and_invariant() {
+    let (seed, k, ell) = (97u64, 4usize, 6usize);
+    let qs = queries(seed, 3);
+    let adversary = AdversaryPlan::default().with_lie(1, 0);
+    let recovery = RecoveryPlan::default().with_rejoin(2, 2, 5);
+    let want = with_pool(1, || {
+        let c = byzantine_cluster(
+            k,
+            seed,
+            Engine::Sync,
+            DeliveryMode::Exact,
+            adversary.clone(),
+            FaultPlan::default(),
+            recovery.clone(),
+        );
+        c.query_batch_with(Algorithm::Simple, &qs, ell).expect("lie-during-replay batch")
+    });
+    assert_eq!(want.audit.suspects_quarantined, 1, "the liar must be caught");
+    // Honest reference: the survivors (everyone but the liar) with the
+    // same rejoin window, shifted onto the 3-machine layout.
+    let shards = ScalarWorkload::small(512).generate(k, seed);
+    let mut honest: KnnCluster =
+        KnnCluster::builder().machines(k - 1).seed(seed).election(ElectionKind::Fixed).build();
+    let survivors: Vec<Dataset<ScalarPoint>> =
+        shards.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, d)| d.clone()).collect();
+    honest.load_shards(survivors).expect("shard count");
+    let reference = honest.query_batch_with(Algorithm::Simple, &qs, ell).expect("honest reference");
+    for (g, w) in want.answers.iter().zip(&reference.answers) {
+        assert_eq!(
+            ids_and_dists(&g.neighbors),
+            ids_and_dists(&w.neighbors),
+            "the certified answer must equal the honest survivors'"
+        );
+    }
+    for engine in [Engine::Threaded, Engine::Event] {
+        let got = with_pool(8, || {
+            let c = byzantine_cluster(
+                k,
+                seed,
+                engine,
+                DeliveryMode::Exact,
+                adversary.clone(),
+                FaultPlan::default(),
+                recovery.clone(),
+            );
+            c.query_batch_with(Algorithm::Simple, &qs, ell).expect("lie-during-replay batch")
+        });
+        for (g, w) in got.answers.iter().zip(&want.answers) {
+            assert_eq!(g.neighbors, w.neighbors, "{engine:?}");
+        }
+        assert_eq!(got.audit, want.audit, "{engine:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// **No silently wrong answers, ever.** Under any single-adversary plan
+    /// — a round-0 liar, an equivocator, or a corrupting link — a query
+    /// either returns the exact answer over its certified topology (the
+    /// full cluster when the lie was immaterial, the honest survivors when
+    /// the adversary was quarantined) or fails with a typed error. It never
+    /// returns an uncertified answer.
+    #[test]
+    fn prop_no_silently_wrong_answer_under_adversary(
+        seed in 0u64..300,
+        villain in 0usize..4,
+        kind in 0u8..3,
+        adv_seed in 0u64..1000,
+    ) {
+        let (k, ell) = (4usize, 6usize);
+        let q = ScalarPoint(seed.wrapping_mul(127));
+        let plan = match kind {
+            0 => AdversaryPlan::default().with_lie(villain, 0),
+            1 => AdversaryPlan::default().with_equivocate(villain),
+            _ => AdversaryPlan::default().with_corrupt_link(villain, (villain + 1) % k, 400),
+        }
+        .with_adversary_seed(adv_seed);
+        let c = byzantine_cluster(
+            k,
+            seed,
+            Engine::Sync,
+            DeliveryMode::Exact,
+            plan,
+            FaultPlan::default(),
+            RecoveryPlan::default(),
+        );
+        match c.query_with(Algorithm::Knn, &q, ell) {
+            Ok(ans) => {
+                // The answer claims a topology; it must be exact over it.
+                let shards = ScalarWorkload::small(512).generate(k, seed);
+                let survivors: Vec<Dataset<ScalarPoint>> = if ans.audit.suspects_quarantined > 0 {
+                    prop_assert!(ans.degraded);
+                    prop_assert!(ans.neighbors.iter().all(|n| n.machine != villain));
+                    shards.iter().enumerate()
+                        .filter(|&(i, _)| i != villain)
+                        .map(|(_, d)| d.clone())
+                        .collect()
+                } else {
+                    shards.clone()
+                };
+                let mut honest: KnnCluster = KnnCluster::builder()
+                    .machines(survivors.len())
+                    .seed(seed)
+                    .election(ElectionKind::Fixed)
+                    .build();
+                honest.load_shards(survivors).expect("shard count");
+                let want = honest.query_with(Algorithm::Knn, &q, ell).expect("honest reference");
+                prop_assert_eq!(
+                    ids_and_dists(&ans.neighbors),
+                    ids_and_dists(&want.neighbors),
+                    "an uncertified answer escaped"
+                );
+            }
+            // Every failure is typed — quarantine exhaustion, retry budget,
+            // or a corruption the engines refused to deliver.
+            Err(CoreError::AuditFailed { .. })
+            | Err(CoreError::DeadlineExceeded { .. })
+            | Err(CoreError::Engine(EngineError::IntegrityViolation { .. }))
+            | Err(CoreError::Engine(EngineError::LinkDown { .. })) => {}
+            Err(other) => prop_assert!(false, "untyped failure: {:?}", other),
+        }
+    }
+}
+
+/// A representative Byzantine run — a lying machine caught by the audit,
+/// quarantined, and recovered from — written to
+/// `results/audit_metrics.json` for the CI chaos leg's artifact upload.
+#[test]
+fn audit_metrics_artifact() {
+    let (seed, k, ell) = (101u64, 5usize, 6usize);
+    let qs = queries(seed, 4);
+    let batch = with_pool(4, || {
+        let c = byzantine_cluster(
+            k,
+            seed,
+            Engine::Event,
+            DeliveryMode::Relaxed,
+            AdversaryPlan::default().with_lie(1, 0),
+            FaultPlan::default(),
+            RecoveryPlan::default(),
+        );
+        c.query_batch_with(Algorithm::Knn, &qs, ell).expect("byzantine batch")
+    });
+    assert_eq!(batch.audit.suspects_quarantined, 1, "the artifact must witness a quarantine");
+    assert!(batch.audit.audits_run > 0);
+    assert!(batch.audit.digests_verified > 0);
+    std::fs::create_dir_all("results").expect("results dir");
+    let json = serde_json::to_string_pretty(&batch).expect("serialize");
+    std::fs::write("results/audit_metrics.json", json).expect("write artifact");
 }
 
 /// A representative chaos run — survivable loss plus a straggler plus a
