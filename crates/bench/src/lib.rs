@@ -12,6 +12,7 @@
 //! | `baselines`      | All algorithms: rounds / messages / bits          |
 //! | `throughput`     | Serving layer: batch size × algorithm sweep       |
 //! | `hotpath`        | Engine loop rounds/sec + allocations, pool-size speedup |
+//! | `recall`         | NSW graph index: `m × ef` vs recall@ℓ and latency |
 //!
 //! plus Criterion micro-benchmarks of the sequential substrates
 //! (`cargo bench -p knn-bench`).

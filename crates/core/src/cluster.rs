@@ -8,11 +8,12 @@ use kmachine::{
     AdversaryPlan, AuditMetrics, BandwidthMode, DeliveryMode, Engine, FaultMetrics, FaultPlan,
     MachineId, RecoveryPlan, RunMetrics, SkewMetrics,
 };
-use knn_points::{Dataset, Dist, Label, Metric, PointId, ScalarPoint};
+use knn_points::{Dataset, Dist, Label, Metric, PointId, Record, ScalarPoint};
 use knn_workloads::PartitionStrategy;
 
 use crate::error::CoreError;
-use crate::local::IndexedPoint;
+use crate::local::nsw::splitmix64;
+use crate::local::{IndexBackend, IndexedPoint, ShardIndex};
 use crate::protocols::knn::{KnnParams, KnnStats};
 use crate::runner::{
     merge_answers, run_approx_query, run_query, Algorithm, ElectionKind, QueryOptions, RetryPolicy,
@@ -263,6 +264,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Which local index each shard builds for the batched serving path:
+    /// [`IndexBackend::Exact`] (the default — brute-force parity) or
+    /// [`IndexBackend::Nsw`] (the navigable-small-world graph with `ef`/`m`
+    /// recall knobs and cheap [`KnnCluster::insert`]). The sequential
+    /// [`KnnCluster::query`] path always scans the full shard either way —
+    /// it is the oracle the conformance suite checks the backends against.
+    pub fn index_backend(mut self, backend: IndexBackend) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
     /// Finish building.
     pub fn build<P: IndexedPoint>(self) -> KnnCluster<P> {
         assert!(self.k >= 1, "cluster needs at least one machine");
@@ -273,6 +285,7 @@ impl ClusterBuilder {
             opts: self.opts,
             algorithm: self.algorithm,
             k: self.k,
+            next_id: 0,
         }
     }
 }
@@ -285,14 +298,19 @@ impl ClusterBuilder {
 #[derive(Debug)]
 pub struct KnnCluster<P: IndexedPoint = ScalarPoint> {
     shards: Vec<Dataset<P>>,
-    /// Per-shard `id → record index`, for resolving answers to labels.
+    /// Per-shard `id → record index`, for resolving answers to labels and
+    /// rejecting duplicate-id inserts.
     index: Vec<HashMap<PointId, usize>>,
-    /// Per-shard candidate-generation indices, built once at load and
-    /// reused by every serving-path query (see [`IndexedPoint`]).
-    shard_indices: Vec<P::Index>,
+    /// Per-shard candidate-generation indices, built at load, kept current
+    /// by [`Self::insert`], and reused by every serving-path query (see
+    /// [`ShardIndex`]).
+    shard_indices: Vec<ShardIndex<P>>,
     opts: QueryOptions,
     algorithm: Algorithm,
     k: usize,
+    /// Next id [`Self::insert`] hands out: one past the largest id loaded
+    /// or inserted so far, so generated ids never collide with data ids.
+    next_id: u64,
 }
 
 impl KnnCluster {
@@ -364,16 +382,85 @@ impl<P: IndexedPoint> KnnCluster<P> {
     fn load_shards_unchecked(&mut self, shards: Vec<Dataset<P>>) {
         // Index construction is per-shard independent and embarrassingly
         // parallel: the id→position maps and candidate-generation indices
-        // (sorted arrays / k-d trees) build concurrently on the rayon pool.
-        // Results are collected in shard order, so loading is deterministic
+        // (sorted arrays / k-d trees / NSW graphs) build concurrently on
+        // the rayon pool. Each shard's build is internally sequential and
+        // results are collected in shard order, so loading is deterministic
         // at any pool size.
         use rayon::prelude::*;
         self.index = shards
             .par_iter()
             .map(|d| d.records.iter().enumerate().map(|(i, r)| (r.id, i)).collect())
             .collect();
-        self.shard_indices = shards.par_iter().map(|d| P::build_index(&d.records)).collect();
+        self.shard_indices = shards
+            .par_iter()
+            .map(|d| ShardIndex::build(&d.records, self.opts.backend, self.opts.metric))
+            .collect();
+        self.next_id = shards
+            .iter()
+            .filter_map(Dataset::max_id)
+            .max()
+            .map_or(0, |max| max.0.saturating_add(1));
         self.shards = shards;
+    }
+
+    /// Insert one point into the live cluster: assign it a fresh id, route
+    /// it to a deterministic shard, and absorb it into that shard's index —
+    /// queries see it immediately, **no reload**. Returns the assigned id
+    /// and hosting machine.
+    ///
+    /// Routing is a seeded hash of the id, so a cluster built with the same
+    /// seed places the same stream of inserts identically on any engine at
+    /// any pool size. Under [`IndexBackend::Nsw`] the insert reuses the
+    /// graph's search path (`O(log n)`-ish); the exact backend rebuilds the
+    /// shard's index (correct for any [`IndexedPoint`], but `O(n log n)` —
+    /// choose NSW for insert-heavy workloads).
+    pub fn insert(&mut self, point: P) -> Result<(PointId, MachineId), CoreError> {
+        self.insert_labeled(point, None)
+    }
+
+    /// [`Self::insert`] with a label attached to the new record.
+    pub fn insert_labeled(
+        &mut self,
+        point: P,
+        label: Option<Label>,
+    ) -> Result<(PointId, MachineId), CoreError> {
+        if self.shards.is_empty() {
+            return Err(CoreError::NotLoaded);
+        }
+        let id = PointId(self.next_id);
+        let machine = (splitmix64(self.opts.seed ^ id.0) % self.k as u64) as MachineId;
+        self.insert_record_into(machine, Record { id, point, label })?;
+        Ok((id, machine))
+    }
+
+    /// Insert a caller-built record into a specific shard — the
+    /// "data is naturally distributed" counterpart of [`Self::insert`],
+    /// for callers that manage ids and placement themselves (and for
+    /// replaying one cluster's insert stream into another verbatim).
+    /// Rejects ids already present on any shard.
+    pub fn insert_record_into(
+        &mut self,
+        machine: MachineId,
+        record: Record<P>,
+    ) -> Result<(), CoreError> {
+        if self.shards.is_empty() {
+            return Err(CoreError::NotLoaded);
+        }
+        if machine >= self.k {
+            return Err(CoreError::NoSuchMachine { machine, machines: self.k });
+        }
+        if self.index.iter().any(|map| map.contains_key(&record.id)) {
+            return Err(CoreError::DuplicateId { id: record.id });
+        }
+        self.next_id = self.next_id.max(record.id.0.saturating_add(1));
+        let records = &mut self.shards[machine].records;
+        let pos = records.len();
+        self.index[machine].insert(record.id, pos);
+        records.push(record);
+        // Keep the candidate index — and with it the Byzantine audit's
+        // shard-local truth — current with the shard it summarizes.
+        self.shard_indices[machine].insert(records, pos);
+        Ok(())
     }
 
     /// Answer an ℓ-NN query with the cluster's default algorithm.
@@ -771,6 +858,63 @@ mod tests {
         assert!(
             matches!(err, CoreError::DeadlineExceeded { attempts: 1, .. }),
             "want DeadlineExceeded, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn insert_serves_immediately_on_both_backends() {
+        for backend in [IndexBackend::Exact, IndexBackend::nsw()] {
+            let mut cluster: KnnCluster<ScalarPoint> =
+                KnnCluster::builder().machines(4).seed(3).index_backend(backend).build();
+            let mut ids = IdAssigner::new(0);
+            let data =
+                Dataset::from_points((0..100u64).map(|i| ScalarPoint(i * 10)).collect(), &mut ids);
+            cluster.load(data, PartitionStrategy::Shuffled);
+            // 503 is nearer to the query than any loaded multiple of 10.
+            let (id, machine) =
+                cluster.insert_labeled(ScalarPoint(503), Some(Label::Class(7))).unwrap();
+            assert!(machine < 4);
+            let ans = cluster.query_batch(&[ScalarPoint(502)], 3).unwrap();
+            let top = &ans.answers[0].neighbors[0];
+            assert_eq!(top.id, id, "{backend:?}: the inserted point wins, no reload");
+            assert_eq!(top.machine, machine);
+            assert_eq!(top.label, Some(Label::Class(7)));
+            assert_eq!(top.dist.as_u64(), 1);
+            // The sequential oracle path agrees.
+            let seq = cluster.query(&ScalarPoint(502), 3).unwrap();
+            assert_eq!(seq.neighbors[0].id, id);
+            assert_eq!(cluster.total_points(), 101);
+        }
+    }
+
+    #[test]
+    fn insert_ids_are_fresh_and_routing_is_seeded() {
+        let mut a = loaded_cluster(4, 50);
+        let mut b = loaded_cluster(4, 50);
+        for v in 0..20u64 {
+            let (id_a, m_a) = a.insert(ScalarPoint(v * 3)).unwrap();
+            let (id_b, m_b) = b.insert(ScalarPoint(v * 3)).unwrap();
+            assert_eq!((id_a, m_a), (id_b, m_b), "same seed, same placement");
+            assert!(a.shards[m_a].records.iter().filter(|r| r.id == id_a).count() == 1);
+        }
+        assert_eq!(a.total_points(), 70);
+    }
+
+    #[test]
+    fn insert_validation_is_typed() {
+        let mut empty: KnnCluster<ScalarPoint> = KnnCluster::builder().machines(3).build();
+        assert_eq!(empty.insert(ScalarPoint(1)).unwrap_err(), CoreError::NotLoaded);
+        let mut cluster = loaded_cluster(3, 30);
+        let taken = cluster.shards[0].records[0].id;
+        let dup = Record { id: taken, point: ScalarPoint(5), label: None };
+        assert_eq!(
+            cluster.insert_record_into(0, dup).unwrap_err(),
+            CoreError::DuplicateId { id: taken }
+        );
+        let fresh = Record { id: PointId(u64::MAX - 1), point: ScalarPoint(5), label: None };
+        assert_eq!(
+            cluster.insert_record_into(9, fresh).unwrap_err(),
+            CoreError::NoSuchMachine { machine: 9, machines: 3 }
         );
     }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use kmachine::EngineError;
+use knn_points::PointId;
 
 /// Failures surfaced by the runner and the cluster facade.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,20 @@ pub enum CoreError {
         /// Machines still alive when the audit gave up.
         alive: usize,
     },
+    /// An insert carried an id already present on some shard. Ids are the
+    /// identity the protocols and the audit reason about; silently
+    /// double-indexing one would corrupt both.
+    DuplicateId {
+        /// The offending id.
+        id: PointId,
+    },
+    /// An insert targeted a machine the cluster does not have.
+    NoSuchMachine {
+        /// The requested machine.
+        machine: usize,
+        /// Machines in the cluster.
+        machines: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +89,12 @@ impl fmt::Display for CoreError {
                      ({suspects:?})",
                     suspects.len()
                 )
+            }
+            CoreError::DuplicateId { id } => {
+                write!(f, "insert rejected: id {id:?} is already loaded")
+            }
+            CoreError::NoSuchMachine { machine, machines } => {
+                write!(f, "insert rejected: machine {machine} of a {machines}-machine cluster")
             }
         }
     }
@@ -119,6 +140,15 @@ mod tests {
         assert!(s.contains("3 attempts"), "{s}");
         assert!(s.contains("42"), "{s}");
         assert!(s.contains("40 rounds"), "{s}");
+    }
+
+    #[test]
+    fn insert_errors_report_the_offender() {
+        let s = CoreError::DuplicateId { id: PointId(7) }.to_string();
+        assert!(s.contains("already loaded"), "{s}");
+        let s = CoreError::NoSuchMachine { machine: 9, machines: 4 }.to_string();
+        assert!(s.contains("machine 9"), "{s}");
+        assert!(s.contains("4-machine"), "{s}");
     }
 
     #[test]

@@ -26,8 +26,12 @@
 //!   algorithm and engine, run queries, inspect exact round/message costs.
 //! * [`session::QuerySession`] — the **batched serving path**: one leader
 //!   election per session, one engine run per batch (queries multiplexed
-//!   over shared links), and per-shard indices ([`local::IndexedPoint`])
-//!   generating local candidates in `O(ℓ log n)` instead of `O(n)`.
+//!   over shared links), and per-shard indices ([`local::ShardIndex`]:
+//!   exact [`local::IndexedPoint`] structures or the approximate
+//!   [`local::NswIndex`] graph, chosen via [`local::IndexBackend`])
+//!   generating local candidates in `O(ℓ log n)` instead of `O(n)`. The
+//!   NSW backend also unlocks [`cluster::KnnCluster::insert`]: live,
+//!   index-maintained point ingestion with no reload.
 //! * [`ml`] — ℓ-NN classification (majority vote) and regression (mean),
 //!   the applications motivating the paper.
 //!
@@ -76,6 +80,6 @@ pub mod session;
 pub use audit::{audit_claims, AuditReport};
 pub use cluster::{BatchAnswer, ClusterBuilder, KnnAnswer, KnnCluster, Neighbor};
 pub use error::CoreError;
-pub use local::IndexedPoint;
+pub use local::{IndexBackend, IndexedPoint, NswIndex, NswParams, ShardIndex};
 pub use runner::{Algorithm, ElectionKind, QueryOptions};
 pub use session::{BatchOutcome, BatchQueryOutcome, QuerySession};

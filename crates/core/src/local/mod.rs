@@ -5,13 +5,14 @@
 //! machine's own thread under the threaded engine — matching where the
 //! paper's cluster spends its local time.
 //!
-//! Two candidate-generation paths exist:
+//! Three candidate-generation paths exist:
 //!
 //! * [`dist_keys`] — the paper's reduction verbatim: compute the distance of
 //!   the query to *all* local points, `O(n)` per query. Used by the one-shot
 //!   [`crate::runner::run_query`] path.
-//! * [`IndexedPoint`] — a per-shard index built **once at load** and reused
-//!   across queries, so the serving path
+//! * [`IndexedPoint`] — a per-shard **exact** index built at load time and
+//!   updated on every [`crate::cluster::KnnCluster::insert`] (the dataset is
+//!   *not* frozen after load), so the serving path
 //!   ([`crate::session::QuerySession`]) generates the local top-ℓ
 //!   candidates in `O(ℓ log n)` instead of `O(n)` per query. Since a
 //!   machine can contribute at most ℓ answers, the local top-ℓ is a
@@ -24,9 +25,23 @@
 //!   batched rounds improve both from amortization and from the index
 //!   shrinking its value interval; cost comparisons across the two paths
 //!   should say which effect they measure.
+//! * [`nsw::NswIndex`] — an **approximate** navigable-small-world graph with
+//!   insert-as-query construction, selected per cluster via
+//!   [`IndexBackend::Nsw`]. It trades exactness for an `ef`/`m` recall ↔
+//!   latency dial (saturating at exact when `ef` covers the shard) and gives
+//!   every point type — including high-dimensional [`VecPoint`] and
+//!   [`BitsPoint`], which the exact path serves by brute scan — a sublinear
+//!   serving path plus cheap online inserts.
+//!
+//! [`ShardIndex`] is the dispatch between the last two: clusters store one
+//! per shard and route every local top-ℓ request through it.
 
 use knn_points::{BitsPoint, DistKey, Metric, Point, PointId, Record, ScalarPoint, VecPoint};
 use knn_selection::TopK;
+
+pub mod nsw;
+
+pub use nsw::{recall, NswIndex, NswParams};
 
 /// Distance keys of all records with respect to `query`: the reduction of
 /// ℓ-NN to selection (§1.2 — "compute the distance of the query point to
@@ -49,10 +64,12 @@ pub fn brute_top<P: Point>(
     )
 }
 
-/// A point type with a per-shard index for repeated-query serving.
+/// A point type with a per-shard **exact** index for repeated-query serving.
 ///
-/// `build_index` runs once per shard at [`crate::cluster::KnnCluster::load`]
-/// time; `index_top` answers "this shard's ℓ best candidates" per query.
+/// `build_index` runs per shard at [`crate::cluster::KnnCluster::load`] time
+/// (and again after an insert mutates the shard, via
+/// [`ShardIndex::insert`]); `index_top` answers "this shard's ℓ best
+/// candidates" per query.
 /// The contract is **exact parity with the brute-force scan**: `index_top`
 /// must return precisely the ℓ smallest `(distance, id)` keys the full
 /// [`dist_keys`] scan would yield, in ascending order — the batched and
@@ -65,7 +82,7 @@ pub trait IndexedPoint: Point {
     /// The index structure held per shard.
     type Index: Send + Sync + std::fmt::Debug;
 
-    /// Build the shard's index (once, at load time).
+    /// Build the shard's index from the full record set.
     fn build_index(records: &[Record<Self>]) -> Self::Index;
 
     /// The shard's ℓ best candidates for `query`, ascending by
@@ -192,6 +209,132 @@ impl IndexedPoint for BitsPoint {
         metric: Metric,
     ) -> Vec<DistKey> {
         brute_top(records, query, ell, metric)
+    }
+}
+
+/// Which local index each shard builds — a per-cluster choice made on
+/// [`crate::QueryOptions`] / [`crate::ClusterBuilder::index_backend`].
+///
+/// * [`IndexBackend::Exact`] (the default): the [`IndexedPoint`] index for
+///   the point type — sorted array for scalars, k-d tree for vectors, brute
+///   scan for bit points. Answers are exactly the brute-force top-ℓ.
+/// * [`IndexBackend::Nsw`]: the [`NswIndex`] proximity graph — approximate
+///   at small `ef` (recall measured by the `recall` bench bin), exact when
+///   `ef` covers the shard, with `O(log n)`-ish online inserts for every
+///   point type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum IndexBackend {
+    /// Exact per-type index with brute-force parity.
+    #[default]
+    Exact,
+    /// Navigable-small-world graph with the given knobs.
+    Nsw(NswParams),
+}
+
+impl IndexBackend {
+    /// NSW backend with default knobs.
+    pub fn nsw() -> Self {
+        IndexBackend::Nsw(NswParams::default())
+    }
+
+    /// Short human-readable name for tables and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexBackend::Exact => "exact",
+            IndexBackend::Nsw(_) => "nsw",
+        }
+    }
+}
+
+/// The index a cluster holds per shard: the [`IndexBackend`] dispatch
+/// between the exact [`IndexedPoint`] structure and the approximate
+/// [`NswIndex`] graph. All serving-path candidate generation — including
+/// the Byzantine audit's shard-local truth — goes through [`ShardIndex::top`]
+/// so honest claims and recomputed truth always come from the same code
+/// path, and [`ShardIndex::insert`] keeps the structure live as records are
+/// appended.
+#[derive(Debug)]
+pub enum ShardIndex<P: IndexedPoint> {
+    /// Exact index (brute-force parity guaranteed by [`IndexedPoint`]).
+    Exact(P::Index),
+    /// Approximate NSW graph (exact once `ef` covers the shard).
+    Nsw(NswIndex),
+}
+
+impl<P: IndexedPoint> ShardIndex<P> {
+    /// Build the selected index over a shard's records. `metric` only
+    /// matters for [`IndexBackend::Nsw`], whose graph geometry is tied to
+    /// the metric it was built under.
+    pub fn build(records: &[Record<P>], backend: IndexBackend, metric: Metric) -> Self {
+        match backend {
+            IndexBackend::Exact => ShardIndex::Exact(P::build_index(records)),
+            IndexBackend::Nsw(params) => ShardIndex::Nsw(NswIndex::build(records, params, metric)),
+        }
+    }
+
+    /// Which backend this index is.
+    pub fn backend(&self) -> IndexBackend {
+        match self {
+            ShardIndex::Exact(_) => IndexBackend::Exact,
+            ShardIndex::Nsw(index) => IndexBackend::Nsw(index.params()),
+        }
+    }
+
+    /// The shard's ℓ best candidates, ascending by `(distance, id)`.
+    ///
+    /// Exact backend: precisely the brute-force top-ℓ. NSW backend: the
+    /// graph search at the configured `ef_search` (raised to `ell` when
+    /// smaller) — but if `metric` differs from the build metric the graph
+    /// does not apply and this falls back to the exact scan.
+    pub fn top(
+        &self,
+        records: &[Record<P>],
+        query: &P,
+        ell: usize,
+        metric: Metric,
+    ) -> Vec<DistKey> {
+        match self {
+            ShardIndex::Exact(index) => P::index_top(index, records, query, ell, metric),
+            ShardIndex::Nsw(index) => {
+                if metric != index.metric() {
+                    return brute_top(records, query, ell, metric);
+                }
+                index.search(records, query, ell, index.params().ef_search)
+            }
+        }
+    }
+
+    /// [`ShardIndex::top`] with a per-call `ef` override. The exact backend
+    /// ignores `ef` (it is already exact); the NSW backend uses it as the
+    /// frontier breadth, so `ef ≥ records.len()` forces exact parity.
+    pub fn top_ef(
+        &self,
+        records: &[Record<P>],
+        query: &P,
+        ell: usize,
+        ef: usize,
+        metric: Metric,
+    ) -> Vec<DistKey> {
+        match self {
+            ShardIndex::Exact(index) => P::index_top(index, records, query, ell, metric),
+            ShardIndex::Nsw(index) => {
+                if metric != index.metric() {
+                    return brute_top(records, query, ell, metric);
+                }
+                index.search(records, query, ell, ef)
+            }
+        }
+    }
+
+    /// Absorb the record just appended at `records[pos]` (the shard's new
+    /// last element). NSW inserts it through the same search path bulk
+    /// construction uses; the exact index rebuilds — correct for any
+    /// [`IndexedPoint`] implementation without extending that trait.
+    pub fn insert(&mut self, records: &[Record<P>], pos: usize) {
+        match self {
+            ShardIndex::Exact(index) => *index = P::build_index(records),
+            ShardIndex::Nsw(index) => index.insert(records, pos),
+        }
     }
 }
 
@@ -331,6 +474,43 @@ mod tests {
         let vindex = VecPoint::build_index(&vrecords);
         let q = VecPoint::new(vec![1.0, 2.0]);
         assert!(VecPoint::index_top(&vindex, &vrecords, &q, 4, Metric::Euclidean).is_empty());
+    }
+
+    #[test]
+    fn shard_index_dispatch_and_metric_fallback() {
+        let records = scalar_records(&[3, 9, 1, 14, 7, 7, 20], 11);
+        let q = ScalarPoint(8);
+        let want = oracle(&records, &q, 3, Metric::Euclidean);
+        let exact =
+            ShardIndex::<ScalarPoint>::build(&records, IndexBackend::Exact, Metric::Euclidean);
+        assert_eq!(exact.backend(), IndexBackend::Exact);
+        assert_eq!(exact.top(&records, &q, 3, Metric::Euclidean), want);
+        let nsw =
+            ShardIndex::<ScalarPoint>::build(&records, IndexBackend::nsw(), Metric::Euclidean);
+        assert_eq!(nsw.backend().name(), "nsw");
+        // ef_search (64) covers this tiny shard, so NSW is exact here.
+        assert_eq!(nsw.top(&records, &q, 3, Metric::Euclidean), want);
+        // A query under a different metric cannot use the graph: scan.
+        let want_h = oracle(&records, &q, 3, Metric::Hamming);
+        assert_eq!(nsw.top(&records, &q, 3, Metric::Hamming), want_h);
+        assert_eq!(nsw.top_ef(&records, &q, 3, 1, Metric::Hamming), want_h);
+    }
+
+    #[test]
+    fn shard_index_insert_keeps_both_backends_current() {
+        let mut records = scalar_records(&[50, 60, 70, 80], 12);
+        let mut exact =
+            ShardIndex::<ScalarPoint>::build(&records, IndexBackend::Exact, Metric::Euclidean);
+        let mut nsw =
+            ShardIndex::<ScalarPoint>::build(&records, IndexBackend::nsw(), Metric::Euclidean);
+        let mut ids = IdAssigner::new(99);
+        records.push(Record { id: ids.next_id(), point: ScalarPoint(61), label: None });
+        exact.insert(&records, records.len() - 1);
+        nsw.insert(&records, records.len() - 1);
+        let q = ScalarPoint(61);
+        let want = oracle(&records, &q, 2, Metric::Euclidean);
+        assert_eq!(exact.top(&records, &q, 2, Metric::Euclidean), want);
+        assert_eq!(nsw.top(&records, &q, 2, Metric::Euclidean), want);
     }
 
     proptest! {

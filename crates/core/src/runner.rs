@@ -14,7 +14,7 @@ use knn_points::{Dataset, DistKey, Key, Metric, Point};
 
 use crate::audit;
 use crate::error::CoreError;
-use crate::local::dist_keys;
+use crate::local::{dist_keys, IndexBackend};
 use crate::protocols::approx::ApproxKnnProtocol;
 use crate::protocols::binsearch::BinSearchProtocol;
 use crate::protocols::knn::{KnnParams, KnnProtocol, KnnStats};
@@ -215,6 +215,14 @@ pub struct QueryOptions {
     /// in [`QueryOutcome::audit`]); a wrong answer is never returned
     /// silently. Elections stay adversary-free, like [`Self::faults`].
     pub adversary: AdversaryPlan,
+    /// Which local index each shard builds for the batched serving path
+    /// (see [`crate::local::IndexBackend`]): the exact per-type structure
+    /// (default) or the approximate NSW graph with its `ef`/`m` recall
+    /// knobs. The sequential [`run_query`] path always scans the full shard
+    /// — it is the exact oracle the conformance suite checks the index
+    /// against — so this field only shapes
+    /// [`crate::session::QuerySession`] candidates and audit truth.
+    pub backend: IndexBackend,
 }
 
 impl Default for QueryOptions {
@@ -235,6 +243,7 @@ impl Default for QueryOptions {
             recovery: RecoveryPlan::default(),
             retry: RetryPolicy::default(),
             adversary: AdversaryPlan::default(),
+            backend: IndexBackend::default(),
         }
     }
 }

@@ -14,8 +14,10 @@
 //!   [`kmachine::mux::MuxProtocol`], so the per-run fixed rounds (round-0
 //!   scheduling, completion broadcasts) are paid once and the instances
 //!   pipeline through the shared bandwidth;
-//! * local candidate generation uses the **per-shard indices built at load
-//!   time** ([`crate::local::IndexedPoint`]) — `O(ℓ log n)` per query
+//! * local candidate generation goes through the **per-shard indices**
+//!   ([`crate::local::ShardIndex`]: exact structures or the approximate NSW
+//!   graph, built at load and kept current by
+//!   [`crate::cluster::KnnCluster::insert`]) — `O(ℓ log n)` per query
 //!   instead of the `O(n)` full scan.
 //!
 //! Per-query costs stay observable: message/bit totals are attributed by
@@ -42,7 +44,7 @@ use knn_points::{Dataset, DistKey, Metric};
 
 use crate::audit;
 use crate::error::CoreError;
-use crate::local::IndexedPoint;
+use crate::local::{IndexedPoint, ShardIndex};
 use crate::protocols::approx::ApproxKnnProtocol;
 use crate::protocols::binsearch::BinSearchProtocol;
 use crate::protocols::knn::{KeySource, KnnProtocol, KnnStats};
@@ -167,7 +169,7 @@ fn plain_keys(
 #[derive(Debug)]
 pub struct QuerySession<'a, P: IndexedPoint> {
     shards: &'a [Dataset<P>],
-    indices: &'a [P::Index],
+    indices: &'a [ShardIndex<P>],
     opts: QueryOptions,
     leader: MachineId,
     election_metrics: Option<RunMetrics>,
@@ -178,7 +180,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
     /// election this session will ever run).
     pub fn new(
         shards: &'a [Dataset<P>],
-        indices: &'a [P::Index],
+        indices: &'a [ShardIndex<P>],
         opts: QueryOptions,
     ) -> Result<Self, CoreError> {
         if shards.is_empty() {
@@ -215,7 +217,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         let lying = self.opts.lies_at_source(machine);
         let adv_seed = self.opts.adversary.adversary_seed;
         Box::new(move || {
-            let keys = P::index_top(index, records, query, ell, metric);
+            let keys = index.top(records, query, ell, metric);
             if lying {
                 audit::perturb_input(keys, adv_seed, machine)
             } else {
@@ -236,7 +238,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
         let records = &self.shards[machine].records;
         let index = &self.indices[machine];
         let metric: Metric = self.opts.metric;
-        Box::new(move || P::index_top(index, records, query, ell, metric))
+        Box::new(move || index.top(records, query, ell, metric))
     }
 
     /// Answer `queries` (all at the same ℓ) in **one engine run** with
@@ -441,8 +443,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
                             let truth: Vec<Vec<DistKey>> = alive
                                 .iter()
                                 .map(|&m| {
-                                    P::index_top(
-                                        &self.indices[m],
+                                    self.indices[m].top(
                                         &self.shards[m].records,
                                         &queries[j],
                                         ell,
@@ -578,7 +579,7 @@ impl<'a, P: IndexedPoint> QuerySession<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::local::IndexedPoint;
+    use crate::local::{IndexBackend, ShardIndex};
     use crate::runner::{merge_answers, run_query, ElectionKind};
     use knn_points::{IdAssigner, ScalarPoint};
     use knn_workloads::PartitionStrategy;
@@ -593,8 +594,10 @@ mod tests {
             .collect()
     }
 
-    fn indices(sh: &[Dataset<ScalarPoint>]) -> Vec<<ScalarPoint as IndexedPoint>::Index> {
-        sh.iter().map(|d| ScalarPoint::build_index(&d.records)).collect()
+    fn indices(sh: &[Dataset<ScalarPoint>]) -> Vec<ShardIndex<ScalarPoint>> {
+        sh.iter()
+            .map(|d| ShardIndex::build(&d.records, IndexBackend::default(), Metric::Euclidean))
+            .collect()
     }
 
     #[test]
@@ -977,7 +980,7 @@ mod tests {
     #[test]
     fn empty_cluster_is_an_error() {
         let sh: Vec<Dataset<ScalarPoint>> = Vec::new();
-        let idx: Vec<<ScalarPoint as IndexedPoint>::Index> = Vec::new();
+        let idx: Vec<ShardIndex<ScalarPoint>> = Vec::new();
         let err = QuerySession::new(&sh, &idx, QueryOptions::default()).unwrap_err();
         assert_eq!(err, CoreError::EmptyCluster);
     }

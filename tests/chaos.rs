@@ -18,7 +18,8 @@ use kmachine::{AdversaryPlan, DeliveryMode, Engine, FaultPlan, RecoveryPlan};
 use knn_core::cluster::{KnnCluster, Neighbor};
 use knn_core::error::CoreError;
 use knn_core::runner::{Algorithm, ElectionKind};
-use knn_points::{Dataset, ScalarPoint};
+use knn_core::IndexBackend;
+use knn_points::{Dataset, Record, ScalarPoint};
 use knn_workloads::ScalarWorkload;
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -601,6 +602,141 @@ fn lie_during_a_replay_window_is_caught_and_invariant() {
             assert_eq!(g.neighbors, w.neighbors, "{engine:?}");
         }
         assert_eq!(got.audit, want.audit, "{engine:?}");
+    }
+}
+
+/// A Byzantine cluster whose shards were **mutated by live inserts** after
+/// load: the semantic audit recomputes shard-local truth from the mutated
+/// shards (through the same [`knn_core::ShardIndex`] the honest machines
+/// answer from), so the liar is still caught and quarantined, and the
+/// certified answer equals the honest survivors' — with the surviving
+/// machines' inserts included — identically on every engine, both backends.
+#[test]
+fn audit_after_live_inserts_still_catches_the_liar() {
+    let (seed, k, ell) = (101u64, 4usize, 8usize);
+    let qs = queries(seed, 3);
+    for backend in [IndexBackend::Exact, IndexBackend::nsw()] {
+        let build = |engine: Engine, adversary: AdversaryPlan| {
+            let shards = ScalarWorkload::small(512).generate(k, seed);
+            let mut cluster: KnnCluster = KnnCluster::builder()
+                .machines(k)
+                .seed(seed)
+                .engine(engine)
+                .election(ElectionKind::Fixed)
+                .adversary(adversary)
+                .index_backend(backend)
+                .build();
+            cluster.load_shards(shards).expect("shard count");
+            // Live inserts, routed by the seeded id hash: near-query values
+            // that change every shard's local truth after load.
+            let placed: Vec<(usize, Record<ScalarPoint>)> = (0..24u64)
+                .map(|i| {
+                    let point = ScalarPoint(qs[(i % 3) as usize].0.wrapping_add(i));
+                    let (id, machine) = cluster.insert(point).expect("live insert");
+                    (machine, Record { id, point, label: None })
+                })
+                .collect();
+            (cluster, placed)
+        };
+        let plan = AdversaryPlan::default().with_lie(1, 0);
+        let (byz, placed) = build(Engine::Sync, plan.clone());
+        let want = byz.query_batch_with(Algorithm::Simple, &qs, ell).expect("byzantine batch");
+        assert_eq!(
+            want.audit.suspects_quarantined,
+            1,
+            "{}: the liar must be caught over mutated shards",
+            backend.name()
+        );
+        assert!(want.audit.audits_run > 0);
+        assert!(want.degraded);
+
+        // Honest reference: the survivors (everyone but the liar), holding
+        // the same loaded shards *and* the same surviving inserts.
+        let shards = ScalarWorkload::small(512).generate(k, seed);
+        let mut honest: KnnCluster = KnnCluster::builder()
+            .machines(k - 1)
+            .seed(seed)
+            .election(ElectionKind::Fixed)
+            .index_backend(backend)
+            .build();
+        let survivors: Vec<Dataset<ScalarPoint>> =
+            shards.iter().enumerate().filter(|&(i, _)| i != 1).map(|(_, d)| d.clone()).collect();
+        honest.load_shards(survivors).expect("shard count");
+        for &(machine, ref record) in &placed {
+            if machine != 1 {
+                let shifted = if machine > 1 { machine - 1 } else { machine };
+                honest.insert_record_into(shifted, record.clone()).expect("replay insert");
+            }
+        }
+        let reference =
+            honest.query_batch_with(Algorithm::Simple, &qs, ell).expect("honest reference");
+        for (g, w) in want.answers.iter().zip(&reference.answers) {
+            assert_eq!(
+                ids_and_dists(&g.neighbors),
+                ids_and_dists(&w.neighbors),
+                "{}: certified answer must equal the honest survivors' (inserts included)",
+                backend.name()
+            );
+        }
+        for engine in [Engine::Threaded, Engine::Event] {
+            let (byz, _) = build(engine, plan.clone());
+            let got = byz.query_batch_with(Algorithm::Simple, &qs, ell).expect("byzantine batch");
+            let label = format!("{}/{engine:?}", backend.name());
+            for (g, w) in got.answers.iter().zip(&want.answers) {
+                assert_eq!(g.neighbors, w.neighbors, "{label}");
+            }
+            assert_eq!(got.audit, want.audit, "{label}");
+            assert_eq!(got.metrics, want.metrics, "{label}");
+        }
+    }
+}
+
+/// The dual soundness property: with the audit machinery armed but every
+/// machine honest, answers dominated by **freshly inserted points** still
+/// certify — nobody is quarantined. If an insert failed to update the
+/// shard-local truth the audit recomputes, the honest machine claiming its
+/// own inserted point would be indistinguishable from a liar.
+#[test]
+fn honest_claims_over_inserted_points_certify() {
+    let (seed, k, ell) = (103u64, 4usize, 6usize);
+    let probe = ScalarPoint(5_000_000);
+    for backend in [IndexBackend::Exact, IndexBackend::nsw()] {
+        // A zero-rate corrupt link arms the full defense stack (digests +
+        // per-query semantic audit) without ever firing.
+        let plan = AdversaryPlan::default().with_corrupt_link(0, 1, 0);
+        let shards = ScalarWorkload::small(512).generate(k, seed);
+        let mut cluster: KnnCluster = KnnCluster::builder()
+            .machines(k)
+            .seed(seed)
+            .election(ElectionKind::Fixed)
+            .adversary(plan)
+            .index_backend(backend)
+            .build();
+        cluster.load_shards(shards).expect("shard count");
+        // Inserts in a region the workload never reaches: they ARE the
+        // answer to the probe query.
+        let inserted: Vec<_> = (0..ell as u64)
+            .map(|i| cluster.insert(ScalarPoint(probe.0 + i)).expect("insert").0)
+            .collect();
+        let batch = cluster.query_batch_with(Algorithm::Simple, &[probe], ell).expect("batch");
+        assert!(batch.audit.audits_run > 0, "{}: the audit must actually run", backend.name());
+        assert_eq!(
+            batch.audit.suspects_quarantined,
+            0,
+            "{}: honest inserts certify",
+            backend.name()
+        );
+        assert!(!batch.degraded, "{}", backend.name());
+        let got_ids: Vec<_> = batch.answers[0].neighbors.iter().map(|n| n.id).collect();
+        let mut want_ids = inserted.clone();
+        want_ids.sort_unstable_by_key(|id| id.0);
+        // All ell answers are inserted points (distances 0..ell-1 beat any
+        // loaded value by construction), ascending by (distance, id).
+        assert_eq!(got_ids.len(), ell, "{}", backend.name());
+        for id in &got_ids {
+            assert!(inserted.contains(id), "{}: answer {id:?} not an insert", backend.name());
+        }
+        assert_eq!(batch.answers[0].neighbors[0].dist.as_u64(), 0, "{}", backend.name());
     }
 }
 
